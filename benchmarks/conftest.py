@@ -1,0 +1,43 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_*`` file regenerates one paper artifact (table/figure)
+at a configurable scale and prints/saves the same rows/series the paper
+reports (see DESIGN.md §3 for the experiment index).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor relative to the paper's
+  1000-node/5000-job setup (default ``0.25``; ``1.0`` reproduces paper
+  scale — expect several minutes per figure).
+* ``REPRO_BENCH_SEEDS`` — comma-separated replicate seeds (default
+  ``1,2,3``).
+
+Reports are written to ``benchmarks/reports/*.txt`` and echoed to stdout
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them live).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "1,2,3").split(","))
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered report and echo it for ``-s`` runs."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+
+
+def assert_shapes(checks: dict[str, bool], *keys: str) -> None:
+    """Assert the named qualitative shape checks hold (all, if no keys)."""
+    selected = {k: checks[k] for k in keys} if keys else checks
+    failed = [k for k, ok in selected.items() if not ok]
+    assert not failed, f"shape checks failed: {failed} (all: {checks})"

@@ -1,0 +1,60 @@
+"""Ablations of the design choices DESIGN.md calls out: the virtual
+dimension (§3.2), the RN-Tree extended-search k (§3.1), the TTL-walk
+comparison (§4), and the fair-share extension (§5)."""
+
+from conftest import BENCH_SCALE, BENCH_SEEDS, assert_shapes, save_report
+
+from repro.experiments import (
+    run_fairness_experiment,
+    run_k_sweep_ablation,
+    run_ttl_ablation,
+    run_virtual_dimension_ablation,
+)
+
+
+def test_ablation_virtual_dimension(benchmark):
+    result = benchmark.pedantic(
+        run_virtual_dimension_ablation,
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("ablation_virtual_dim", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_ablation_extended_search_k(benchmark):
+    result = benchmark.pedantic(
+        run_k_sweep_ablation,
+        kwargs={"ks": (1, 2, 4, 8), "scale": BENCH_SCALE,
+                "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("ablation_k_sweep", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_ablation_ttl_walk(benchmark):
+    result = benchmark.pedantic(
+        run_ttl_ablation,
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("ablation_ttl", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_extension_fair_share(benchmark):
+    result = benchmark.pedantic(
+        run_fairness_experiment,
+        kwargs={"seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("extension_fairness", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_grid_scalability(benchmark):
+    from repro.experiments import run_scaling_experiment
+
+    result = benchmark.pedantic(
+        run_scaling_experiment,
+        kwargs={"sizes": (64, 128, 256, 512), "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("scaling", result.report())
+    assert_shapes(result.shape_checks())

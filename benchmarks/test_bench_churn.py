@@ -1,0 +1,20 @@
+"""Robustness under churn: the paper's titular claim (P2P owner/run-node
+recovery vs the client-server single point of failure)."""
+
+from conftest import BENCH_SCALE, BENCH_SEEDS, assert_shapes, save_report
+
+from repro.experiments import run_churn_experiment
+from repro.experiments.churn import ChurnConfig
+
+
+def test_churn_robustness(benchmark):
+    config = ChurnConfig(
+        n_nodes=max(60, int(480 * BENCH_SCALE)),
+        n_jobs=max(200, int(1600 * BENCH_SCALE)),
+    )
+    result = benchmark.pedantic(
+        run_churn_experiment,
+        kwargs={"config": config, "seeds": BENCH_SEEDS[:2]},
+        rounds=1, iterations=1)
+    save_report("churn", result.report())
+    assert_shapes(result.shape_checks())

@@ -1,0 +1,91 @@
+"""DHT lookup-cost scaling (the §2 premise: DHT routing is "highly
+robust, scalable, and efficient") plus substrate micro-benchmarks."""
+
+import numpy as np
+from conftest import assert_shapes, save_report
+
+from repro.dht.can import CANNode, CANOverlay
+from repro.dht.chord import ChordOverlay
+from repro.dht.kademlia import KademliaOverlay
+from repro.experiments import run_dht_scaling
+from repro.util.ids import guid_for
+
+
+def test_dht_lookup_scaling(benchmark):
+    result = benchmark.pedantic(
+        run_dht_scaling,
+        kwargs={"sizes": (64, 128, 256, 512, 1024), "lookups": 200},
+        rounds=1, iterations=1)
+    save_report("dht_scaling", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_micro_chord_lookup_rate(benchmark):
+    ov = ChordOverlay(np.random.default_rng(0))
+    ov.build(sorted({guid_for(f"micro-c-{i}") for i in range(512)}))
+    keys = [guid_for(f"key-{i}") for i in range(256)]
+
+    def lookups():
+        for key in keys:
+            assert ov.route(key).success
+
+    benchmark(lookups)
+
+
+def test_micro_can_routing_rate(benchmark):
+    rng = np.random.default_rng(0)
+    ov = CANOverlay(np.random.default_rng(1), dims=4)
+    for i in range(512):
+        ov.join(CANNode(guid_for(f"micro-n-{i}"), tuple(rng.uniform(0, 1, 4))))
+    targets = [tuple(rng.uniform(0, 1, 4)) for _ in range(256)]
+
+    def routes():
+        for t in targets:
+            assert ov.route(t).success
+
+    benchmark(routes)
+
+
+def test_micro_pastry_lookup_rate(benchmark):
+    from repro.dht.pastry import PastryOverlay
+
+    ov = PastryOverlay(np.random.default_rng(0))
+    ov.build(sorted({guid_for(f"micro-p-{i}") for i in range(512)}))
+    keys = [guid_for(f"key-{i}") for i in range(256)]
+
+    def lookups():
+        for key in keys:
+            assert ov.route(key).success
+
+    benchmark(lookups)
+
+
+def test_micro_kademlia_lookup_rate(benchmark):
+    ov = KademliaOverlay(np.random.default_rng(0))
+    ov.build(sorted({guid_for(f"micro-k-{i}") for i in range(512)}))
+    keys = [guid_for(f"key-{i}") for i in range(256)]
+
+    def lookups():
+        for key in keys:
+            assert ov.route(key).success
+
+    benchmark(lookups)
+
+
+def test_micro_event_kernel_throughput(benchmark):
+    from repro.sim.kernel import Simulator
+
+    def churn_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count[0] == 50_000
+
+    benchmark(churn_events)

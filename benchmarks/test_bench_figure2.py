@@ -1,0 +1,57 @@
+"""Figure 2 (all four panels): job wait time, clustered & mixed workloads.
+
+The full scenario grid (4 workloads x 3 matchmakers x seeds) is computed
+once and shared by the four panel benchmarks; ``test_fig2a`` carries the
+wall-clock cost, the rest validate their panel from the cached result.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import BENCH_SCALE, BENCH_SEEDS, assert_shapes, save_report
+
+from repro.experiments import run_figure2
+
+
+@lru_cache(maxsize=1)
+def figure2_result():
+    return run_figure2(scale=BENCH_SCALE, seeds=BENCH_SEEDS)
+
+
+def test_fig2a_average_wait_clustered(benchmark):
+    result = benchmark.pedantic(figure2_result, rounds=1, iterations=1)
+    save_report("figure2", result.report())
+    assert_shapes(result.shape_checks())
+    for level, rnt, can, cent in result.panel("clustered", "wait_mean"):
+        assert cent <= min(rnt, can) + 1.0, (level, rnt, can, cent)
+
+
+def test_fig2b_stdev_wait_clustered(benchmark):
+    result = benchmark.pedantic(figure2_result, rounds=1, iterations=1)
+    for level, rnt, can, cent in result.panel("clustered", "wait_std"):
+        # The centralized target balances best: lowest dispersion too.
+        assert cent <= min(rnt, can) + 5.0, (level, rnt, can, cent)
+
+
+def test_fig2c_average_wait_mixed(benchmark):
+    result = benchmark.pedantic(figure2_result, rounds=1, iterations=1)
+    rows = {level: (rnt, can, cent)
+            for level, rnt, can, cent in result.panel("mixed", "wait_mean")}
+    rnt, can, cent = rows["lightly"]
+    # The §3.3 finding: basic CAN collapses for lightly-constrained jobs
+    # on mixed nodes.
+    assert can > 2.0 * rnt
+    assert can > 3.0 * max(cent, 1.0)
+    rnt_h, can_h, cent_h = rows["heavily"]
+    assert can_h < 2.5 * rnt_h  # competitive when heavily constrained
+
+
+def test_fig2d_stdev_wait_mixed(benchmark):
+    result = benchmark.pedantic(figure2_result, rounds=1, iterations=1)
+    rows = {level: (rnt, can, cent)
+            for level, rnt, can, cent in result.panel("mixed", "wait_std")}
+    rnt, can, cent = rows["lightly"]
+    # The pathology shows up as dispersion too (panel (d)'s tall CAN bar).
+    assert can > 1.5 * rnt
+    assert can > cent

@@ -1,0 +1,17 @@
+"""Matchmaking-cost table (paper prose: "a small number of hops")."""
+
+from conftest import BENCH_SCALE, BENCH_SEEDS, assert_shapes, save_report
+
+from repro.experiments import run_hops_experiment
+
+
+def test_matchmaking_cost_small(benchmark):
+    result = benchmark.pedantic(
+        run_hops_experiment, kwargs={"scale": BENCH_SCALE,
+                                     "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("hops", result.report())
+    assert_shapes(result.shape_checks())
+    # Every row's total cost is far below the population size.
+    for row in result.rows:
+        assert row[-1] < result.n_nodes / 2

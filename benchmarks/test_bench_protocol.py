@@ -1,0 +1,16 @@
+"""Message-level Chord maintenance study: traffic vs reliability under
+churn with zero oracle repair (§3.3's network-maintenance simulations)."""
+
+from conftest import BENCH_SCALE, assert_shapes, save_report
+
+from repro.experiments import run_protocol_experiment
+from repro.experiments.protocol import ProtocolConfig
+
+
+def test_protocol_maintenance_tradeoff(benchmark):
+    config = ProtocolConfig(n_nodes=max(32, int(192 * BENCH_SCALE)))
+    result = benchmark.pedantic(
+        run_protocol_experiment, kwargs={"config": config},
+        rounds=1, iterations=1)
+    save_report("protocol_maintenance", result.report())
+    assert_shapes(result.shape_checks())

@@ -1,0 +1,16 @@
+"""Load-aware pushing (paper §3.3: "dramatically improves ... load
+balancing compared to the basic CAN scheme ... still with low
+matchmaking cost")."""
+
+from conftest import BENCH_SCALE, BENCH_SEEDS, assert_shapes, save_report
+
+from repro.experiments import run_pushing_experiment
+
+
+def test_pushing_repairs_pathology(benchmark):
+    result = benchmark.pedantic(
+        run_pushing_experiment,
+        kwargs={"scale": BENCH_SCALE, "seeds": BENCH_SEEDS},
+        rounds=1, iterations=1)
+    save_report("pushing", result.report())
+    assert_shapes(result.shape_checks())

@@ -1,0 +1,39 @@
+"""Protocol-tuning sweeps: heartbeat cadence, RN-Tree walk length, WAN
+latency sensitivity."""
+
+from conftest import BENCH_SCALE, BENCH_SEEDS, assert_shapes, save_report
+
+from repro.experiments import (
+    run_heartbeat_sweep,
+    run_latency_sensitivity,
+    run_walk_length_sweep,
+)
+
+
+def test_tuning_heartbeat_cadence(benchmark):
+    result = benchmark.pedantic(
+        run_heartbeat_sweep,
+        kwargs={"n_nodes": max(60, int(400 * BENCH_SCALE)),
+                "n_jobs": max(150, int(1200 * BENCH_SCALE)),
+                "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("tuning_heartbeat", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_tuning_walk_length(benchmark):
+    result = benchmark.pedantic(
+        run_walk_length_sweep,
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("tuning_walk_length", result.report())
+    assert_shapes(result.shape_checks())
+
+
+def test_tuning_latency_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        run_latency_sensitivity,
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEEDS[0]},
+        rounds=1, iterations=1)
+    save_report("tuning_latency", result.report())
+    assert_shapes(result.shape_checks())

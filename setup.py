@@ -1,0 +1,6 @@
+"""Setuptools shim for legacy editable installs (offline environments
+without the ``wheel`` package can `pip install -e . --no-use-pep517`)."""
+
+from setuptools import setup
+
+setup()

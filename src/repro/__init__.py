@@ -1,0 +1,35 @@
+"""repro — a P2P desktop grid, reproducing Kim et al. (IPDPS 2007),
+"Creating a Robust Desktop Grid using Peer-to-Peer Services".
+
+Public API tour
+---------------
+* :class:`repro.grid.DesktopGrid` / :class:`repro.grid.GridConfig` — build
+  and run a simulated grid deployment.
+* :func:`repro.match.make_matchmaker` — choose a matchmaking algorithm
+  (``"centralized"``, ``"rn-tree"``, ``"can"``, ``"can-push"``,
+  ``"ttl-walk"``).
+* :mod:`repro.workloads` — the paper's clustered/mixed, lightly/heavily
+  constrained workload families.
+* :mod:`repro.experiments` — drivers that regenerate every figure/table.
+* :mod:`repro.dht` — the Chord, CAN, and Kademlia substrates, usable on
+  their own.
+
+See ``examples/quickstart.py`` for a 30-line end-to-end run.
+"""
+
+from repro.grid import DesktopGrid, GridConfig, Job, JobProfile, JobState
+from repro.match import make_matchmaker
+from repro.workloads import WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesktopGrid",
+    "GridConfig",
+    "Job",
+    "JobProfile",
+    "JobState",
+    "make_matchmaker",
+    "WorkloadConfig",
+    "__version__",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers so a user can
+regenerate any paper artifact without writing code:
+
+.. code-block:: console
+
+   $ python -m repro list
+   $ python -m repro run figure2 --scale 0.25 --seeds 1,2,3
+   $ python -m repro run churn
+   $ python -m repro run all --out reports/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    run_churn_experiment,
+    run_heartbeat_sweep,
+    run_latency_sensitivity,
+    run_walk_length_sweep,
+    run_dht_scaling,
+    run_fairness_experiment,
+    run_figure2,
+    run_hops_experiment,
+    run_k_sweep_ablation,
+    run_protocol_experiment,
+    run_pushing_experiment,
+    run_scaling_experiment,
+    run_ttl_ablation,
+    run_virtual_dimension_ablation,
+)
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    try:
+        seeds = tuple(int(s) for s in text.split(",") if s.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("seed list is empty")
+    return seeds
+
+
+#: Experiment registry: name -> (description, runner(scale, seeds) -> result).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "figure2": ("Figure 2: job wait time, all four panels",
+                lambda scale, seeds: run_figure2(scale=scale, seeds=seeds)),
+    "hops": ("matchmaking cost table ('a small number of hops')",
+             lambda scale, seeds: run_hops_experiment(scale=scale,
+                                                      seed=seeds[0])),
+    "pushing": ("load-aware pushing vs basic CAN",
+                lambda scale, seeds: run_pushing_experiment(scale=scale,
+                                                            seeds=seeds)),
+    "churn": ("robustness under churn: P2P vs client-server",
+              lambda scale, seeds: run_churn_experiment(seeds=seeds)),
+    "dht-scaling": ("DHT lookup cost vs N (Chord/Pastry/Kademlia/CAN)",
+                    lambda scale, seeds: run_dht_scaling(seed=seeds[0])),
+    "protocol": ("message-level Chord maintenance vs reliability",
+                 lambda scale, seeds: run_protocol_experiment()),
+    "ablation-vdim": ("virtual-dimension ablation",
+                      lambda scale, seeds: run_virtual_dimension_ablation(
+                          scale=scale, seed=seeds[0])),
+    "ablation-k": ("RN-Tree extended-search k sweep",
+                   lambda scale, seeds: run_k_sweep_ablation(scale=scale,
+                                                             seed=seeds[0])),
+    "ablation-ttl": ("TTL random walk vs structured matchmaking",
+                     lambda scale, seeds: run_ttl_ablation(scale=scale,
+                                                           seed=seeds[0])),
+    "fairness": ("fair-share vs FIFO queueing extension",
+                 lambda scale, seeds: run_fairness_experiment(seed=seeds[0])),
+    "scaling": ("grid scalability: wait/cost vs N at constant load",
+                lambda scale, seeds: run_scaling_experiment(seed=seeds[0])),
+    "tuning-heartbeat": ("heartbeat cadence: traffic vs detection latency",
+                         lambda scale, seeds: run_heartbeat_sweep(
+                             seed=seeds[0])),
+    "tuning-walk": ("RN-Tree random-walk length sweep",
+                    lambda scale, seeds: run_walk_length_sweep(
+                        scale=scale, seed=seeds[0])),
+    "tuning-latency": ("WAN latency sensitivity",
+                       lambda scale, seeds: run_latency_sensitivity(
+                           scale=scale, seed=seeds[0])),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P2P desktop grid (Kim et al., IPDPS 2007): regenerate "
+                    "the paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     choices=sorted(EXPERIMENTS) + ["all"],
+                     help="experiment id (see 'repro list')")
+    run.add_argument("--scale", type=float, default=0.25,
+                     help="workload scale vs the paper's 1000 nodes/5000 "
+                          "jobs (default 0.25; 1.0 = paper scale)")
+    run.add_argument("--seeds", type=_parse_seeds, default=(1,),
+                     help="comma-separated replicate seeds (default: 1)")
+    run.add_argument("--out", type=Path, default=None,
+                     help="directory to also write the report(s) into")
+    run.add_argument("--check", action="store_true",
+                     help="fail (exit 1) if the paper-shape checks fail")
+    return parser
+
+
+def _run_one(name: str, scale: float, seeds: tuple[int, ...],
+             out: Path | None, check: bool) -> bool:
+    _desc, runner = EXPERIMENTS[name]
+    result = runner(scale, seeds)
+    report = result.report()
+    print(report)
+    ok = True
+    checks = getattr(result, "shape_checks", None)
+    if checks is not None:
+        verdicts = checks()
+        print("\nshape checks:")
+        for key, passed in verdicts.items():
+            print(f"  [{'ok' if passed else 'FAIL'}] {key}")
+        ok = all(verdicts.values())
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(report + "\n")
+        print(f"\n[written to {out / f'{name}.txt'}]")
+    return ok or not check
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly like
+        # any well-behaved CLI.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    all_ok = True
+    for name in names:
+        if len(names) > 1:
+            print(f"\n=== {name} ===\n")
+        all_ok &= _run_one(name, args.scale, args.seeds, args.out, args.check)
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Distributed hash table substrates.
+
+The paper assumes "an underlying Distributed Hash Table infrastructure
+[CAN, Pastry, Chord, Tapestry]".  We implement four from scratch:
+
+* :mod:`repro.dht.chord` — the ring DHT the RN-Tree matchmaker is built on.
+* :mod:`repro.dht.can` — the d-dimensional Content-Addressable Network the
+  CAN matchmaker (and its load-pushing variant) is built on.
+* :mod:`repro.dht.pastry` — prefix routing with leaf sets, covering the
+  Pastry/Tapestry design family the paper also cites.
+* :mod:`repro.dht.kademlia` — an XOR-metric DHT used as an additional
+  substrate for the DHT-scaling benchmarks (the reproduction-hint notes
+  Kademlia is the ecosystem-standard choice).
+
+All four expose the common :class:`repro.dht.base.DHTOverlay` API (route a
+key to its owner, store/fetch replicated values, join/leave/crash), so the
+grid layer and the experiments can swap them freely.
+"""
+
+from repro.dht.base import DHTNode, DHTOverlay, RouteResult
+
+__all__ = ["DHTNode", "DHTOverlay", "RouteResult"]

@@ -1,0 +1,14 @@
+"""Content-Addressable Network (Ratnasamy et al., SIGCOMM 2001).
+
+The CAN matchmaker's substrate: a d-dimensional coordinate space divided
+into rectangular zones, one owner per zone, with greedy geometric routing
+between neighbors.  For matchmaking, resource capabilities/requirements are
+the real dimensions and one extra *virtual* dimension (uniform random)
+breaks up clusters of identical nodes and jobs (paper §3.2).
+"""
+
+from repro.dht.can.space import Point, Zone, zone_distance
+from repro.dht.can.node import CANNode
+from repro.dht.can.overlay import CANOverlay
+
+__all__ = ["Point", "Zone", "zone_distance", "CANNode", "CANOverlay"]

@@ -1,0 +1,339 @@
+"""The CAN overlay: join/split, greedy routing, takeover, neighbor upkeep.
+
+Join follows the CAN paper with one matchmaking-specific refinement
+(paper §3.2 of Kim et al.): a joining node routes to the zone containing
+*its own representative point* and the zone splits **between the two
+points** (on the dimension that best separates them, relative to zone
+extent) rather than blindly halving.  Both nodes therefore keep their own
+point inside their zone — the invariant the matchmaking layer depends on
+("a zone's owner is a node whose capabilities lie in that zone").  The
+virtual dimension guarantees the two points differ almost surely even for
+identical machines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.dht.base import DHTOverlay, RouteResult
+from repro.dht.can.node import CANNode, NeighborSet
+from repro.dht.can.space import Point, Zone, unit_zone, zone_distance
+
+
+class CANOverlay(DHTOverlay):
+    """A simulated CAN over ``[0,1)^dims``."""
+
+    def __init__(self, rng: np.random.Generator, dims: int):
+        super().__init__()
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.rng = rng
+        self.dims = dims
+        self.nodes: dict[int, CANNode] = {}
+        self._live: list[CANNode] = []
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, node: CANNode, bootstrap: CANNode | None = None) -> None:
+        """Admit ``node``: route to its point's zone and split it."""
+        if len(node.point) != self.dims:
+            raise ValueError(f"point has {len(node.point)} dims, overlay has {self.dims}")
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id:#x}")
+        self.nodes[node.node_id] = node
+        node.alive = True
+        if not self._live:
+            node.zones = [unit_zone(self.dims)]
+            node.neighbors = NeighborSet()
+            self._live.append(node)
+            return
+        start = bootstrap if bootstrap is not None and bootstrap.alive else None
+        result = self._route(node.point, start, record=False)
+        if not result.success:
+            raise RuntimeError("CAN join routing failed")
+        owner: CANNode = result.owner  # type: ignore[assignment]
+        self._split_with(owner, node)
+        self._live.append(node)
+
+    def crash(self, node_id: int) -> None:
+        """Abrupt failure.  The zone is immediately adopted by a neighbor
+        (the structural equivalent of CAN's takeover timer protocol); if
+        the node had no live neighbor the space would tear, which cannot
+        happen while any other node is alive because zones tessellate."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        node.store.clear()
+        self._live.remove(node)
+        self._takeover(node)
+        node.zones = []
+        node.neighbors = NeighborSet()
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: hand zones and stored keys to a neighbor."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        heir = self._smallest_live_neighbor(node)
+        node.alive = False
+        self._live.remove(node)
+        if heir is not None:
+            heir.store.update(node.store)
+        node.store.clear()
+        self._takeover(node)
+        node.zones = []
+        node.neighbors = NeighborSet()
+
+    def live_nodes(self) -> list[CANNode]:
+        return list(self._live)
+
+    @property
+    def size(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, key, start: CANNode | None = None) -> RouteResult:
+        """Route to the owner of ``key`` (a Point)."""
+        result = self._route(key, start, record=True)
+        return result
+
+    def _route(self, point: Point, start: CANNode | None, record: bool) -> RouteResult:
+        if start is None or not start.alive:
+            start = self._random_live()
+        if start is None:
+            result = RouteResult(False, None, 0)
+            if record:
+                self.lookup_stats.record(result)
+            return result
+        cur = start
+        hops = 0
+        path = [cur.node_id]
+        success = True
+        max_hops = 8 * (len(self._live) + 4)
+        visited = {cur.node_id}
+        while not cur.owns_point(point):
+            # A neighbor that *owns* the point wins outright.  This also
+            # resolves exact-boundary targets: with discrete capability
+            # levels a point can lie on a shared (closed) zone face, where
+            # several zones are at distance 0 but only one owns it under
+            # the half-open convention.
+            owner_nb = None
+            for nb in cur.neighbors:
+                if nb.alive and nb.owns_point(point):
+                    owner_nb = nb
+                    break
+            if owner_nb is not None:
+                cur = owner_nb
+                hops += 1
+                path.append(cur.node_id)
+                break
+            # Greedy: step to the neighbor closest to the target.  The zone
+            # across the exit face is strictly closer except on distance
+            # plateaus (target collinear with a face), where we allow
+            # equal-distance moves to unvisited zones.
+            cur_d = cur.distance_to(point)
+            best = None
+            best_d = cur_d
+            plateau = None
+            for nb in cur.neighbors:
+                if not nb.alive:
+                    continue
+                d = nb.distance_to(point)
+                if d < best_d:
+                    best, best_d = nb, d
+                elif d == cur_d and plateau is None and nb.node_id not in visited:
+                    plateau = nb
+            nxt = best if best is not None else plateau
+            if nxt is None:
+                success = False
+                break
+            cur = nxt
+            visited.add(cur.node_id)
+            hops += 1
+            path.append(cur.node_id)
+            if hops > max_hops:
+                success = False
+                break
+        result = RouteResult(success, cur if success else None, hops, path)
+        if record:
+            self.lookup_stats.record(result)
+        return result
+
+    def zone_owner(self, point: Point) -> CANNode | None:
+        """Oracle ownership by linear scan (tests and assertions only)."""
+        for node in self._live:
+            if node.owns_point(point):
+                return node
+        return None
+
+    def replica_set(self, owner: CANNode, key, replicas: int) -> list[CANNode]:
+        """Owner plus its nearest live neighbors (CAN neighbor replication)."""
+        out = [owner]
+        if replicas > 1:
+            ranked = sorted(
+                (nb for nb in owner.neighbors if nb.alive),
+                key=lambda nb: (nb.distance_to(owner.point), nb.node_id),
+            )
+            out.extend(ranked[: replicas - 1])
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _random_live(self) -> CANNode | None:
+        if not self._live:
+            return None
+        return self._live[int(self.rng.integers(0, len(self._live)))]
+
+    def _split_with(self, owner: CANNode, joiner: CANNode) -> None:
+        """Split the owner's zone containing the joiner's point between the
+        two representative points."""
+        zone_idx = next(i for i, z in enumerate(owner.zones) if z.contains(joiner.point))
+        zone = owner.zones[zone_idx]
+        dim, at = _separating_split(zone, owner.point, joiner.point, self.rng)
+        lower, upper = zone.split(dim, at)
+        # The joiner must end up owning the half with its own point in it;
+        # the owner keeps the other half.  (When splitting the owner's
+        # *primary* zone the separating split guarantees the kept half still
+        # contains the owner's point; an adopted zone never contained it.)
+        if lower.contains(joiner.point):
+            joiner_zone, owner_zone = lower, upper
+        else:
+            joiner_zone, owner_zone = upper, lower
+        if zone_idx == 0 and not owner_zone.contains(owner.point):
+            raise ValueError(
+                "cannot split between coincident representative points; "
+                "add a virtual dimension to disambiguate identical nodes"
+            )
+        owner.zones[zone_idx] = owner_zone
+        joiner.zones = [joiner_zone]
+        # Rewire neighbor sets: candidates are the old owner's neighbors
+        # plus the owner itself.
+        candidates = NeighborSet(owner.neighbors)
+        candidates.add(owner)
+        joiner.neighbors = NeighborSet()
+        for cand in candidates:
+            if cand is joiner or not cand.alive:
+                continue
+            if _are_neighbors(cand, joiner):
+                joiner.neighbors.add(cand)
+                cand.neighbors.add(joiner)
+        # The owner may have lost abutment with some former neighbors.
+        for former in list(owner.neighbors):
+            if not _are_neighbors(owner, former):
+                owner.neighbors.discard(former)
+                former.neighbors.discard(owner)
+
+    def _takeover(self, dead: CANNode) -> None:
+        """Assign each of the dead node's zones to its smallest live
+        neighbor that abuts that zone (CAN's takeover rule)."""
+        for former in list(dead.neighbors):
+            former.neighbors.discard(dead)
+        for zone in dead.zones:
+            heir = None
+            heir_vol = float("inf")
+            for nb in dead.neighbors:
+                if not nb.alive:
+                    continue
+                if any(zone.abuts(z) for z in nb.zones):
+                    vol = nb.total_volume()
+                    if vol < heir_vol:
+                        heir, heir_vol = nb, vol
+            if heir is None:
+                # Possible when several neighbors died together; scan for
+                # any live abutting node (structural repair).
+                for cand in self._live:
+                    if any(zone.abuts(z) for z in cand.zones):
+                        heir = cand
+                        break
+            if heir is None and self._live:
+                # Cascading failures can leave a zone with no *abutting*
+                # live node (only corner contact).  The zone must still be
+                # owned — give it to the nearest live node; neighbor links
+                # are recomputed below from the adopted zone's geometry.
+                center = zone.center()
+                heir = min(self._live,
+                           key=lambda cand: (cand.distance_to(center),
+                                             cand.node_id))
+            if heir is None:
+                continue  # overlay is empty
+            heir.zones.append(zone)
+            # Zone adoption may create new abutments for the heir.
+            for cand in list(dead.neighbors) + self._live:
+                if cand is heir or not cand.alive:
+                    continue
+                if cand in heir.neighbors:
+                    continue
+                if _are_neighbors(heir, cand):
+                    heir.neighbors.add(cand)
+                    cand.neighbors.add(heir)
+
+    def _smallest_live_neighbor(self, node: CANNode) -> CANNode | None:
+        best, best_vol = None, float("inf")
+        for nb in node.neighbors:
+            if nb.alive:
+                vol = nb.total_volume()
+                if vol < best_vol:
+                    best, best_vol = nb, vol
+        return best
+
+    def check_invariants(self) -> None:
+        """Assert the tessellation and neighbor-symmetry invariants
+        (test helper; O(N^2))."""
+        total = sum(n.total_volume() for n in self._live)
+        if self._live and abs(total - 1.0) > 1e-9:
+            raise AssertionError(f"zones do not tessellate: total volume {total}")
+        for node in self._live:
+            if not node.zones:
+                raise AssertionError(f"live node {node} owns no zone")
+            if not node.zone.contains(node.point):
+                raise AssertionError(f"{node} primary zone lost its point")
+            for nb in node.neighbors:
+                if nb.alive and node not in nb.neighbors:
+                    raise AssertionError(f"asymmetric neighbor link {node} -> {nb}")
+        for i, a in enumerate(self._live):
+            for b in self._live[i + 1:]:
+                should = _are_neighbors(a, b)
+                linked = b in a.neighbors
+                if should != linked:
+                    raise AssertionError(
+                        f"neighbor set mismatch: {a} vs {b}: "
+                        f"geometric={should} linked={linked}"
+                    )
+
+
+def _are_neighbors(a: CANNode, b: CANNode) -> bool:
+    return any(za.abuts(zb) for za in a.zones for zb in b.zones)
+
+
+def _separating_split(zone: Zone, p_old: Point, p_new: Point,
+                      rng: np.random.Generator) -> tuple[int, float]:
+    """Choose the split (dimension, coordinate) separating the two points.
+
+    Picks the dimension with the largest separation relative to the zone's
+    extent and splits halfway between the two coordinates.  Falls back to
+    halving the longest dimension in the measure-zero case of coincident
+    points (cannot happen once a virtual dimension is in play, but the
+    overlay must not crash on adversarial inputs).
+    """
+    best_dim, best_sep = -1, 0.0
+    for d in range(zone.dims):
+        sep = abs(p_old[d] - p_new[d]) / zone.extent(d)
+        if sep > best_sep:
+            best_dim, best_sep = d, sep
+    if best_dim >= 0:
+        at = (p_old[best_dim] + p_new[best_dim]) / 2.0
+        if zone.lo[best_dim] < at < zone.hi[best_dim]:
+            return best_dim, at
+    # Coincident (or split degenerate after rounding): halve the longest dim.
+    longest = max(range(zone.dims), key=zone.extent)
+    return longest, (zone.lo[longest] + zone.hi[longest]) / 2.0

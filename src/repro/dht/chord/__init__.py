@@ -1,0 +1,6 @@
+"""Chord DHT (Stoica et al., SIGCOMM 2001) — the RN-Tree's substrate."""
+
+from repro.dht.chord.node import ChordNode
+from repro.dht.chord.overlay import ChordOverlay
+
+__all__ = ["ChordNode", "ChordOverlay"]

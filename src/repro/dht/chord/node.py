@@ -1,0 +1,83 @@
+"""Chord node state: successor list, predecessor, finger table.
+
+Routing state refers to other :class:`ChordNode` objects directly (the
+simulator's stand-in for cached network addresses); a reference to a dead
+node is exactly a stale address — usable for comparison, but any attempt to
+*route through* it is skipped, modelling a timeout.
+"""
+
+from __future__ import annotations
+
+from repro.dht.base import DHTNode
+from repro.util.ids import GUID_BITS, ring_add, ring_between
+
+
+class ChordNode(DHTNode):
+    """One Chord participant.
+
+    Attributes
+    ----------
+    successors:
+        Successor list, nearest first.  Entry 0 is *the* successor; the rest
+        provide failure tolerance (a node is cut off only if its whole list
+        dies between repairs).
+    predecessor:
+        Known predecessor (may be stale/dead until stabilization runs).
+    fingers:
+        ``fingers[i]`` targets ``successor(id + 2**i)``; stale entries are
+        tolerated by the lookup procedure.
+    """
+
+    __slots__ = ("bits", "successors", "predecessor", "fingers")
+
+    def __init__(self, node_id: int, bits: int = GUID_BITS):
+        super().__init__(node_id)
+        self.bits = bits
+        self.successors: list[ChordNode] = []
+        self.predecessor: ChordNode | None = None
+        self.fingers: list[ChordNode | None] = [None] * bits
+
+    # -- routing-state queries -------------------------------------------
+
+    def finger_start(self, i: int) -> int:
+        """The id ``fingers[i]`` should be the successor of."""
+        return ring_add(self.node_id, 1 << i, bits=self.bits)
+
+    def first_live_successor(self) -> "ChordNode | None":
+        """First live entry of the successor list, or None if all are dead."""
+        for succ in self.successors:
+            if succ.alive:
+                return succ
+        return None
+
+    def closest_preceding_live(self, key: int) -> "ChordNode":
+        """The live routing-table node closest to (but strictly before) ``key``.
+
+        Scans fingers from farthest to nearest, then the successor list, and
+        falls back to ``self`` when nothing qualifies (the caller then steps
+        to the successor).  Skipping dead entries models lookup retry after
+        a timeout on a stale address.
+        """
+        best = self
+        for finger in reversed(self.fingers):
+            if finger is not None and finger.alive and \
+                    ring_between(finger.node_id, self.node_id, key):
+                return finger
+        # Fingers may all be stale after churn; the successor list still
+        # guarantees progress.
+        for succ in self.successors:
+            if succ.alive and ring_between(succ.node_id, self.node_id, key):
+                best = succ  # nearest-first list: later entries are farther
+        return best
+
+    def owns(self, key: int) -> bool:
+        """True iff ``key`` falls in ``(predecessor, self]``.
+
+        Only meaningful when the predecessor pointer is current; the overlay
+        uses interval tests on the live ring for authoritative ownership.
+        """
+        if self.predecessor is None or self.predecessor is self:
+            return True
+        if key == self.node_id:
+            return True
+        return ring_between(key, self.predecessor.node_id, self.node_id)

@@ -1,0 +1,377 @@
+"""The Chord overlay: membership, iterative lookup, stabilization, storage.
+
+Two construction modes are provided, matching how the paper's simulator is
+used:
+
+* **Oracle construction** (:meth:`ChordOverlay.build`) — pointers are
+  computed directly from the sorted live-id list.  Used to set up large
+  static populations for the load-balance experiments in O(N log N).
+* **Protocol join** (:meth:`ChordOverlay.join`) — a joining node looks up
+  its own id to find its successor, then periodic :meth:`stabilize_node` /
+  :meth:`fix_fingers_node` rounds (driven by :class:`PeriodicTask` in churn
+  experiments) converge the ring, exactly as in the Chord paper.
+
+Crashes lose all of a node's state; the successor-list redundancy plus
+stabilization repair the ring, and the replicated KV layer keeps data
+reachable while at least one replica survives.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHTOverlay, RouteResult
+from repro.dht.chord.node import ChordNode
+from repro.util.ids import GUID_BITS, ring_add, ring_between, ring_between_right_inclusive
+
+
+class ChordOverlay(DHTOverlay):
+    """A simulated Chord ring.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness for picking default lookup start nodes.
+    bits:
+        Identifier-space width (affects finger-table size).
+    successor_list_len:
+        Redundancy of successor lists (Chord's ``r``); the ring partitions
+        only if ``r`` consecutive nodes die between repairs.
+    """
+
+    def __init__(self, rng: np.random.Generator, bits: int = GUID_BITS,
+                 successor_list_len: int = 8):
+        super().__init__()
+        if successor_list_len < 1:
+            raise ValueError("successor_list_len must be >= 1")
+        self.rng = rng
+        self.bits = bits
+        self.r = successor_list_len
+        self.nodes: dict[int, ChordNode] = {}
+        self._live_ids: list[int] = []  # sorted; oracle view for construction
+        self._fix_finger_next: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def build(self, node_ids: Iterable[int]) -> list[ChordNode]:
+        """Oracle-construct a ring containing ``node_ids`` (must be fresh)."""
+        created = []
+        for nid in node_ids:
+            if nid in self.nodes:
+                raise ValueError(f"duplicate node id {nid:#x}")
+            node = ChordNode(nid, bits=self.bits)
+            self.nodes[nid] = node
+            created.append(node)
+        self._live_ids = sorted(n.node_id for n in self.nodes.values() if n.alive)
+        for node in self.nodes.values():
+            if node.alive:
+                self._oracle_pointers(node)
+        return created
+
+    def join(self, node: ChordNode, bootstrap: ChordNode | None = None) -> None:
+        """Protocol join: locate the successor via lookup, splice in.
+
+        The new node's fingers are seeded lazily (pointed at the successor);
+        ``fix_fingers_node`` rounds sharpen them.  Other nodes learn about
+        the joiner through stabilization, per the Chord paper.
+        """
+        if node.node_id in self.nodes and self.nodes[node.node_id] is not node:
+            raise ValueError(f"node id collision {node.node_id:#x}")
+        self.nodes[node.node_id] = node
+        node.alive = True
+        if not self._live_ids:  # first node: ring of one
+            node.successors = [node]
+            node.predecessor = node
+            node.fingers = [node] * self.bits
+            self._insert_live_id(node.node_id)
+            return
+        start = bootstrap if bootstrap is not None and bootstrap.alive \
+            else self._random_live()
+        result = self._route(node.node_id, start, record=False)
+        if not result.success:
+            raise RuntimeError("join lookup failed: overlay unreachable")
+        succ = result.owner
+        node.successors = ([succ] + succ.successors)[: self.r]
+        node.predecessor = None  # learned via notify during stabilization
+        node.fingers = [succ] * self.bits
+        self._insert_live_id(node.node_id)
+        # Immediately notify the successor (first stabilization half-round)
+        # so the ring is never observably inconsistent for ownership tests.
+        self._notify(succ, node)
+
+    def oracle_join(self, node: ChordNode) -> None:
+        """Admit a node and wire its (and its neighbors') pointers exactly."""
+        if node.node_id in self.nodes and self.nodes[node.node_id] is not node:
+            raise ValueError(f"node id collision {node.node_id:#x}")
+        self.nodes[node.node_id] = node
+        node.alive = True
+        self._insert_live_id(node.node_id)
+        self._oracle_pointers(node)
+        pred = self._oracle_predecessor(node.node_id)
+        if pred is not None:
+            self._oracle_pointers(pred)
+
+    def crash(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        node.store.clear()
+        self._remove_live_id(node_id)
+
+    def recover(self, node_id: int, *, oracle: bool = True) -> ChordNode:
+        """Bring a crashed node back with fresh (empty) state and rejoin."""
+        old = self.nodes.pop(node_id)
+        if old.alive:
+            raise ValueError(f"node {node_id:#x} is not crashed")
+        node = ChordNode(node_id, bits=self.bits)
+        if oracle:
+            self.oracle_join(node)
+        else:
+            self.join(node)
+        return node
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: hand keys to the successor, then go down."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        succ = node.first_live_successor()
+        if succ is not None and succ is not node:
+            succ.store.update(node.store)
+        node.store.clear()
+        node.alive = False
+        self._remove_live_id(node_id)
+
+    def live_nodes(self) -> list[ChordNode]:
+        return [self.nodes[nid] for nid in self._live_ids]
+
+    @property
+    def size(self) -> int:
+        return len(self._live_ids)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, key: int, start: ChordNode | None = None) -> RouteResult:
+        result = self._route(key, start, record=True)
+        return result
+
+    def _route(self, key: int, start: ChordNode | None, record: bool) -> RouteResult:
+        key &= (1 << self.bits) - 1
+        if start is None or not start.alive:
+            start = self._random_live()
+        if start is None:
+            result = RouteResult(False, None, 0)
+            if record:
+                self.lookup_stats.record(result)
+            return result
+        # Generous bound: a healthy ring needs O(log N); a freshly-joined
+        # node whose fingers all point at its successor may walk the ring
+        # linearly, so allow that, but never loop forever on a partition.
+        max_hops = max(64, 2 * self.size + 16)
+        cur = start
+        hops = 0
+        path = [cur.node_id]
+        success = False
+        owner: ChordNode | None = None
+        while hops <= max_hops:
+            succ = cur.first_live_successor()
+            if succ is None:
+                break  # cut off: every known successor is dead
+            if succ is cur or ring_between_right_inclusive(key, cur.node_id, succ.node_id):
+                owner = succ
+                success = True
+                if succ is not cur:
+                    hops += 1
+                    path.append(succ.node_id)
+                break
+            nxt = cur.closest_preceding_live(key)
+            if nxt is cur:
+                nxt = succ
+            cur = nxt
+            hops += 1
+            path.append(cur.node_id)
+        result = RouteResult(success, owner, hops, path)
+        if record:
+            self.lookup_stats.record(result)
+        return result
+
+    def successor_of(self, key: int) -> ChordNode | None:
+        """Oracle ownership: the live node whose id is the first >= key."""
+        if not self._live_ids:
+            return None
+        key &= (1 << self.bits) - 1
+        idx = bisect.bisect_left(self._live_ids, key)
+        if idx == len(self._live_ids):
+            idx = 0
+        return self.nodes[self._live_ids[idx]]
+
+    def replica_set(self, owner: ChordNode, key: int, replicas: int) -> list[ChordNode]:
+        """Owner plus its next live successors (Chord's replica placement)."""
+        out = [owner]
+        cur = owner
+        guard = 0
+        while len(out) < replicas and guard < 4 * replicas + 8:
+            guard += 1
+            nxt = cur.first_live_successor()
+            if nxt is None or nxt in out:
+                break
+            out.append(nxt)
+            cur = nxt
+        return out
+
+    # ------------------------------------------------------------------
+    # maintenance (the Chord stabilization protocol)
+    # ------------------------------------------------------------------
+
+    def stabilize_node(self, node: ChordNode) -> None:
+        """One stabilization round for ``node`` (Chord Fig. 7).
+
+        Uses only ``node``'s own references and state readable from its
+        (live) successor — the same information flow as the message
+        protocol.
+        """
+        if not node.alive:
+            return
+        succ = node.first_live_successor()
+        if succ is None:
+            # Last resort: try to re-enter through any live finger.
+            for finger in node.fingers:
+                if finger is not None and finger.alive and finger is not node:
+                    succ = finger
+                    break
+        if succ is None:
+            return  # isolated; only external repair can help
+        if succ is node:
+            # Ring-of-one (or believed so): a joiner announces itself via
+            # notify, so our own predecessor is the adoption candidate.
+            x = node.predecessor
+            if x is not None and x.alive and x is not node:
+                succ = x
+        else:
+            x = succ.predecessor
+            if x is not None and x.alive and x is not node and \
+                    ring_between(x.node_id, node.node_id, succ.node_id):
+                succ = x
+        if succ is node:
+            node.successors = [node]
+        else:
+            merged = [succ]
+            for s in succ.successors:
+                if s is not node and s not in merged:
+                    merged.append(s)
+            node.successors = merged[: self.r]
+        self._notify(succ, node)
+
+    def _notify(self, succ: ChordNode, candidate: ChordNode) -> None:
+        if succ is candidate:
+            return
+        pred = succ.predecessor
+        if pred is None or not pred.alive or pred is succ or \
+                ring_between(candidate.node_id, pred.node_id, succ.node_id):
+            succ.predecessor = candidate
+
+    def fix_fingers_node(self, node: ChordNode, count: int = 1) -> None:
+        """Refresh ``count`` finger entries via lookups from ``node``."""
+        if not node.alive:
+            return
+        i = self._fix_finger_next.get(node.node_id, 0)
+        for _ in range(count):
+            target = node.finger_start(i)
+            result = self._route(target, node, record=False)
+            if result.success:
+                node.fingers[i] = result.owner
+            i = (i + 1) % self.bits
+        self._fix_finger_next[node.node_id] = i
+
+    def maintenance_round(self) -> None:
+        """Stabilize + one finger fix on every live node (test/driver helper)."""
+        for node in self.live_nodes():
+            self.stabilize_node(node)
+        for node in self.live_nodes():
+            self.fix_fingers_node(node, count=4)
+
+    def repair(self) -> None:
+        """Oracle repair: rebuild every live node's pointers exactly.
+
+        Experiments that are not studying maintenance traffic call this
+        after churn events instead of simulating thousands of stabilization
+        messages (same fixed point, per the Chord convergence theorem).
+        """
+        for nid in self._live_ids:
+            self._oracle_pointers(self.nodes[nid])
+
+    # ------------------------------------------------------------------
+    # storage helpers
+    # ------------------------------------------------------------------
+
+    def put(self, key: int, value: Any, replicas: int = 1) -> RouteResult:
+        return super().put(key & ((1 << self.bits) - 1), value, replicas)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _random_live(self) -> ChordNode | None:
+        if not self._live_ids:
+            return None
+        nid = self._live_ids[int(self.rng.integers(0, len(self._live_ids)))]
+        return self.nodes[nid]
+
+    def _insert_live_id(self, nid: int) -> None:
+        idx = bisect.bisect_left(self._live_ids, nid)
+        if idx < len(self._live_ids) and self._live_ids[idx] == nid:
+            raise ValueError(f"id {nid:#x} already live")
+        self._live_ids.insert(idx, nid)
+
+    def _remove_live_id(self, nid: int) -> None:
+        idx = bisect.bisect_left(self._live_ids, nid)
+        if idx < len(self._live_ids) and self._live_ids[idx] == nid:
+            self._live_ids.pop(idx)
+
+    def _oracle_successor_ids(self, nid: int, count: int) -> list[int]:
+        ids = self._live_ids
+        n = len(ids)
+        if n == 0:
+            return []
+        idx = bisect.bisect_right(ids, nid)
+        out = []
+        for k in range(min(count, n - 1) if n > 1 else 0):
+            out.append(ids[(idx + k) % n])
+        return out
+
+    def _oracle_predecessor(self, nid: int) -> ChordNode | None:
+        ids = self._live_ids
+        n = len(ids)
+        if n <= 1:
+            return None
+        idx = bisect.bisect_left(ids, nid)
+        return self.nodes[ids[(idx - 1) % n]]
+
+    def _oracle_pointers(self, node: ChordNode) -> None:
+        n = len(self._live_ids)
+        if n == 1:
+            node.successors = [node]
+            node.predecessor = node
+            node.fingers = [node] * self.bits
+            return
+        succ_ids = self._oracle_successor_ids(node.node_id, self.r)
+        node.successors = [self.nodes[sid] for sid in succ_ids]
+        pred = self._oracle_predecessor(node.node_id)
+        node.predecessor = pred if pred is not None else node
+        ids = self._live_ids
+        fingers: list[ChordNode | None] = []
+        for i in range(self.bits):
+            target = ring_add(node.node_id, 1 << i, bits=self.bits)
+            idx = bisect.bisect_left(ids, target)
+            if idx == n:
+                idx = 0
+            fingers.append(self.nodes[ids[idx]])
+        node.fingers = fingers

@@ -1,0 +1,13 @@
+"""Kademlia DHT (Maymounkov & Mazières, IPTPS 2002).
+
+XOR-metric DHT with k-buckets and iterative node lookup.  Included as a
+third substrate behind the common :class:`repro.dht.base.DHTOverlay` API:
+the paper's architecture is DHT-agnostic ("we assume an underlying DHT
+infrastructure"), and the DHT-scaling experiment compares lookup cost
+across Chord, CAN, and Kademlia.
+"""
+
+from repro.dht.kademlia.node import KademliaNode
+from repro.dht.kademlia.overlay import KademliaOverlay
+
+__all__ = ["KademliaNode", "KademliaOverlay"]

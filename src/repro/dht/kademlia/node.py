@@ -1,0 +1,53 @@
+"""Kademlia node state: the k-bucket routing table."""
+
+from __future__ import annotations
+
+from repro.dht.base import DHTNode
+from repro.util.ids import GUID_BITS
+
+
+class KademliaNode(DHTNode):
+    """One Kademlia participant.
+
+    ``buckets[i]`` holds contacts whose XOR distance from this node has bit
+    length ``i + 1`` (i.e. differs first in bit ``i``), least-recently seen
+    first, capacity ``k`` each.
+    """
+
+    __slots__ = ("bits", "k", "buckets")
+
+    def __init__(self, node_id: int, bits: int = GUID_BITS, k: int = 8):
+        super().__init__(node_id)
+        self.bits = bits
+        self.k = k
+        self.buckets: list[list[KademliaNode]] = [[] for _ in range(bits)]
+
+    def bucket_index(self, other_id: int) -> int:
+        """Index of the bucket responsible for ``other_id``."""
+        dist = self.node_id ^ other_id
+        if dist == 0:
+            raise ValueError("node has no bucket for itself")
+        return dist.bit_length() - 1
+
+    def observe(self, contact: "KademliaNode") -> None:
+        """LRU bucket update on seeing ``contact`` (Kademlia §2.2): move an
+        existing entry to the tail; insert if there's room; otherwise evict
+        the least-recently-seen entry iff it is dead (we can check liveness
+        directly — the structural stand-in for the eviction ping)."""
+        if contact is self or contact.node_id == self.node_id:
+            return
+        bucket = self.buckets[self.bucket_index(contact.node_id)]
+        try:
+            bucket.remove(contact)
+        except ValueError:
+            if len(bucket) >= self.k:
+                if bucket[0].alive:
+                    return  # table full of live nodes: drop the newcomer
+                bucket.pop(0)
+        bucket.append(contact)
+
+    def closest_known(self, key: int, count: int) -> list["KademliaNode"]:
+        """The ``count`` live contacts closest to ``key`` by XOR distance."""
+        contacts = [c for bucket in self.buckets for c in bucket if c.alive]
+        contacts.sort(key=lambda c: c.node_id ^ key)
+        return contacts[:count]

@@ -1,0 +1,170 @@
+"""The Kademlia overlay: iterative lookup, join, and k-closest storage."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.dht.base import DHTOverlay, RouteResult
+from repro.dht.kademlia.node import KademliaNode
+from repro.util.ids import GUID_BITS
+
+
+class KademliaOverlay(DHTOverlay):
+    """A simulated Kademlia network.
+
+    Parameters
+    ----------
+    k:
+        Bucket capacity and storage replication width.
+    alpha:
+        Lookup concurrency.  In the structural model each *queried* node
+        costs one hop; alpha only affects how aggressively the shortlist is
+        expanded per round, so it changes hop counts exactly the way query
+        parallelism changes message counts in a real deployment.
+    """
+
+    def __init__(self, rng: np.random.Generator, bits: int = GUID_BITS,
+                 k: int = 8, alpha: int = 3):
+        super().__init__()
+        if k < 1 or alpha < 1:
+            raise ValueError("k and alpha must be >= 1")
+        self.rng = rng
+        self.bits = bits
+        self.k = k
+        self.alpha = alpha
+        self.nodes: dict[int, KademliaNode] = {}
+        self._live: list[KademliaNode] = []
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def build(self, node_ids: Iterable[int]) -> list[KademliaNode]:
+        """Create nodes and warm routing tables via each node joining in a
+        random order (Kademlia tables are populated by traffic, so a joined
+        network is the natural "built" state)."""
+        created = [KademliaNode(nid, bits=self.bits, k=self.k) for nid in node_ids]
+        order = list(created)
+        self.rng.shuffle(order)  # type: ignore[arg-type]
+        for node in order:
+            self.join(node)
+        return created
+
+    def join(self, node: KademliaNode, bootstrap: KademliaNode | None = None) -> None:
+        if node.node_id in self.nodes and self.nodes[node.node_id] is not node:
+            raise ValueError(f"node id collision {node.node_id:#x}")
+        self.nodes[node.node_id] = node
+        node.alive = True
+        if self._live:
+            boot = bootstrap if bootstrap is not None and bootstrap.alive \
+                else self._live[int(self.rng.integers(0, len(self._live)))]
+            node.observe(boot)
+            boot.observe(node)
+            # Lookup of our own id populates buckets near us and announces
+            # us to the nodes we traverse.
+            self._lookup(node.node_id, node, record=False, announce=node)
+        self._live.append(node)
+
+    def crash(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        node.store.clear()
+        self._live.remove(node)
+
+    def live_nodes(self) -> list[KademliaNode]:
+        return list(self._live)
+
+    @property
+    def size(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(self, key: int, start: KademliaNode | None = None) -> RouteResult:
+        return self._lookup(key, start, record=True)
+
+    def owner_oracle(self, key: int) -> KademliaNode | None:
+        """The globally closest live node to ``key`` (tests only)."""
+        if not self._live:
+            return None
+        return min(self._live, key=lambda n: n.node_id ^ key)
+
+    def replica_set(self, owner: KademliaNode, key: int, replicas: int) -> list[KademliaNode]:
+        """Owner plus the next-closest live contacts it knows of."""
+        out = [owner]
+        for cand in owner.closest_known(key, replicas + 1):
+            if cand is not owner and len(out) < replicas:
+                out.append(cand)
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _lookup(self, key: int, start: KademliaNode | None, record: bool,
+                announce: KademliaNode | None = None) -> RouteResult:
+        key &= (1 << self.bits) - 1
+        if start is None or not start.alive:
+            start = self._live[int(self.rng.integers(0, len(self._live)))] \
+                if self._live else None
+        if start is None:
+            result = RouteResult(False, None, 0)
+            if record:
+                self.lookup_stats.record(result)
+            return result
+        shortlist: dict[int, KademliaNode] = {start.node_id: start}
+        queried: set[int] = set()
+        hops = 0
+        path = [start.node_id]
+        while True:
+            candidates = sorted(
+                (n for n in shortlist.values() if n.alive and n.node_id not in queried),
+                key=lambda n: n.node_id ^ key,
+            )[: self.alpha]
+            if not candidates:
+                break
+            progressed = False
+            for node in candidates:
+                queried.add(node.node_id)
+                hops += 1
+                path.append(node.node_id)
+                if announce is not None:
+                    node.observe(announce)
+                for contact in node.closest_known(key, self.k):
+                    if contact.node_id not in shortlist:
+                        shortlist[contact.node_id] = contact
+                        progressed = True
+                        if announce is not None:
+                            announce.observe(contact)
+            closest = sorted(
+                (n for n in shortlist.values() if n.alive),
+                key=lambda n: n.node_id ^ key,
+            )[: self.k]
+            if not progressed and all(n.node_id in queried for n in closest):
+                break
+        live_sorted = sorted(
+            (n for n in shortlist.values() if n.alive),
+            key=lambda n: n.node_id ^ key,
+        )
+        owner = live_sorted[0] if live_sorted else None
+        result = RouteResult(owner is not None, owner, hops, path)
+        result.k_closest = live_sorted[: self.k]  # type: ignore[attr-defined]
+        if record:
+            self.lookup_stats.record(result)
+        return result
+
+    def put(self, key: int, value, replicas: int | None = None) -> RouteResult:
+        """Store on the ``replicas`` (default k) closest nodes the lookup
+        discovered — Kademlia's STORE-at-k-closest placement."""
+        replicas = self.k if replicas is None else replicas
+        result = self._lookup(key, None, record=True)
+        if result.success:
+            for node in result.k_closest[:replicas]:  # type: ignore[attr-defined]
+                node.store[key] = value
+        return result

@@ -1,0 +1,14 @@
+"""Pastry DHT (Rowstron & Druschel, Middleware 2001).
+
+Prefix-based routing with leaf sets — the third of the four DHTs the
+paper's §2 cites as candidate substrates ([17] CAN, [18] Pastry, [19]
+Chord, [21] Tapestry; Tapestry's routing is Pastry-family prefix routing,
+so this implementation covers that design point too).  Exposes the common
+:class:`repro.dht.base.DHTOverlay` API and slots into the DHT-scaling
+benchmarks alongside Chord, CAN, and Kademlia.
+"""
+
+from repro.dht.pastry.node import PastryNode
+from repro.dht.pastry.overlay import PastryOverlay
+
+__all__ = ["PastryNode", "PastryOverlay"]

@@ -1,0 +1,115 @@
+"""Pastry node state: prefix digits, routing table, leaf set."""
+
+from __future__ import annotations
+
+from repro.dht.base import DHTNode
+from repro.util.ids import GUID_BITS
+
+
+def digits_of(node_id: int, *, bits: int = GUID_BITS, b: int = 4) -> tuple[int, ...]:
+    """The id as a big-endian sequence of base-``2**b`` digits."""
+    n_digits = bits // b
+    mask = (1 << b) - 1
+    return tuple((node_id >> (b * (n_digits - 1 - i))) & mask
+                 for i in range(n_digits))
+
+
+def shared_prefix_len(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    """Number of leading digits the two ids share."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def circular_distance(a: int, b: int, *, bits: int = GUID_BITS) -> int:
+    """Shortest distance around the id circle (Pastry's closeness metric)."""
+    d = (a - b) & ((1 << bits) - 1)
+    return min(d, (1 << bits) - d)
+
+
+class PastryNode(DHTNode):
+    """One Pastry participant.
+
+    Attributes
+    ----------
+    routing_table:
+        ``routing_table[row][col]`` holds a node whose id shares the first
+        ``row`` digits with ours and whose digit at position ``row`` is
+        ``col`` (None when no such node is known; the own-digit column is
+        conventionally None too — routing never uses it).
+    leaf_smaller / leaf_larger:
+        The leaf set: the ``l/2`` numerically closest live nodes on each
+        side (circularly), nearest first.
+    """
+
+    __slots__ = ("bits", "b", "digits", "routing_table",
+                 "leaf_smaller", "leaf_larger")
+
+    def __init__(self, node_id: int, bits: int = GUID_BITS, b: int = 4):
+        super().__init__(node_id)
+        if bits % b != 0:
+            raise ValueError(f"bits ({bits}) must be a multiple of b ({b})")
+        self.bits = bits
+        self.b = b
+        self.digits = digits_of(node_id, bits=bits, b=b)
+        n_rows = bits // b
+        n_cols = 1 << b
+        self.routing_table: list[list[PastryNode | None]] = [
+            [None] * n_cols for _ in range(n_rows)
+        ]
+        self.leaf_smaller: list[PastryNode] = []
+        self.leaf_larger: list[PastryNode] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def leaf_set(self) -> list["PastryNode"]:
+        return self.leaf_smaller + self.leaf_larger
+
+    def leaf_span(self) -> tuple[int, int] | None:
+        """(min, max) circular span covered by the leaf set, as clockwise
+        offsets from the farthest counter-clockwise leaf; None if empty."""
+        if not self.leaf_smaller or not self.leaf_larger:
+            return None
+        return (self.leaf_smaller[-1].node_id, self.leaf_larger[-1].node_id)
+
+    def key_in_leaf_range(self, key: int) -> bool:
+        """True iff ``key`` falls within the circular arc covered by the
+        leaf set (Pastry's fast path: deliver to the closest leaf)."""
+        span = self.leaf_span()
+        if span is None:
+            return True  # tiny network: the leaf set IS the network
+        lo, hi = span
+        # Clockwise arc from lo to hi, inclusive.
+        arc = (hi - lo) & ((1 << self.bits) - 1)
+        off = (key - lo) & ((1 << self.bits) - 1)
+        return off <= arc
+
+    def closest_leaf(self, key: int) -> "PastryNode":
+        """Numerically (circularly) closest live node among self + leaves."""
+        best = self
+        best_d = circular_distance(self.node_id, key, bits=self.bits)
+        for leaf in self.leaf_set():
+            if not leaf.alive:
+                continue
+            d = circular_distance(leaf.node_id, key, bits=self.bits)
+            if d < best_d or (d == best_d and leaf.node_id < best.node_id):
+                best, best_d = leaf, d
+        return best
+
+    def all_known(self) -> list["PastryNode"]:
+        """Every routing-state entry (for the rare-case fallback)."""
+        out: list[PastryNode] = []
+        seen: set[int] = set()
+        for leaf in self.leaf_set():
+            if leaf.node_id not in seen:
+                seen.add(leaf.node_id)
+                out.append(leaf)
+        for row in self.routing_table:
+            for entry in row:
+                if entry is not None and entry.node_id not in seen:
+                    seen.add(entry.node_id)
+                    out.append(entry)
+        return out

@@ -1,0 +1,285 @@
+"""The Pastry overlay: prefix routing with leaf-set delivery.
+
+Routing (Pastry §2.3): if the key is within the leaf-set arc, deliver to
+the numerically closest leaf (one hop).  Otherwise forward to the routing
+-table entry sharing one more prefix digit with the key; if that entry is
+missing or dead, the *rare case* forwards to any known node that shares
+at least as long a prefix and is numerically closer to the key — which
+guarantees progress, so the expected path length is ``log_{2^b} N``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+import numpy as np
+
+from repro.dht.base import DHTOverlay, RouteResult
+from repro.dht.pastry.node import (
+    PastryNode,
+    circular_distance,
+    digits_of,
+    shared_prefix_len,
+)
+from repro.util.ids import GUID_BITS
+
+
+class PastryOverlay(DHTOverlay):
+    """A simulated Pastry network.
+
+    Parameters
+    ----------
+    b:
+        Digit width; routing resolves ``b`` bits per hop (default 4 =>
+        hexadecimal digits, the Pastry paper's default).
+    leaf_set_size:
+        Total leaf-set size ``l`` (``l/2`` per side).
+    """
+
+    def __init__(self, rng: np.random.Generator, bits: int = GUID_BITS,
+                 b: int = 4, leaf_set_size: int = 8):
+        super().__init__()
+        if leaf_set_size < 2 or leaf_set_size % 2 != 0:
+            raise ValueError("leaf_set_size must be a positive even number")
+        self.rng = rng
+        self.bits = bits
+        self.b = b
+        self.l = leaf_set_size
+        self.nodes: dict[int, PastryNode] = {}
+        self._live_ids: list[int] = []
+        self._prefix_cache: dict[tuple[int, ...], list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def build(self, node_ids: Iterable[int]) -> list[PastryNode]:
+        """Oracle-construct the network (sorted leaf sets + full routing
+        tables, the converged state protocol joins reach)."""
+        created = []
+        for nid in node_ids:
+            if nid in self.nodes:
+                raise ValueError(f"duplicate node id {nid:#x}")
+            node = PastryNode(nid, bits=self.bits, b=self.b)
+            self.nodes[nid] = node
+            created.append(node)
+        self._live_ids = sorted(self.nodes)
+        self._prefix_cache = None
+        for node in created:
+            self._oracle_state(node)
+        return created
+
+    def join(self, node: PastryNode) -> None:
+        """Admit one node (oracle wiring of it and its new neighbors;
+        message-level join is modelled for Chord — see
+        :mod:`repro.dht.chord.protocol` — Pastry uses the converged state)."""
+        if node.node_id in self.nodes and self.nodes[node.node_id] is not node:
+            raise ValueError(f"node id collision {node.node_id:#x}")
+        self.nodes[node.node_id] = node
+        node.alive = True
+        bisect.insort(self._live_ids, node.node_id)
+        self._prefix_cache = None
+        self._oracle_state(node)
+        # Nodes near the joiner (leaf-wise) and nodes whose routing table
+        # had a hole the joiner fills learn about it.
+        for other_id in self._leaf_neighborhood(node.node_id):
+            self._oracle_state(self.nodes[other_id])
+        prefix_len_map = digits_of(node.node_id, bits=self.bits, b=self.b)
+        for other in self.nodes.values():
+            if other is node or not other.alive:
+                continue
+            row = shared_prefix_len(other.digits, prefix_len_map)
+            if row < len(other.routing_table):
+                col = prefix_len_map[row]
+                cur = other.routing_table[row][col]
+                if cur is None or not cur.alive:
+                    other.routing_table[row][col] = node
+
+    def crash(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        node.store.clear()
+        idx = bisect.bisect_left(self._live_ids, node_id)
+        if idx < len(self._live_ids) and self._live_ids[idx] == node_id:
+            self._live_ids.pop(idx)
+        self._prefix_cache = None
+
+    def repair(self) -> None:
+        """Oracle repair of every live node's state after churn (the fixed
+        point of Pastry's leaf-set/routing-table maintenance)."""
+        for nid in self._live_ids:
+            self._oracle_state(self.nodes[nid])
+
+    def live_nodes(self) -> list[PastryNode]:
+        return [self.nodes[nid] for nid in self._live_ids]
+
+    @property
+    def size(self) -> int:
+        return len(self._live_ids)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def owner_oracle(self, key: int) -> PastryNode | None:
+        """The live node circularly closest to ``key`` (ties: smaller id)."""
+        if not self._live_ids:
+            return None
+        key &= (1 << self.bits) - 1
+        idx = bisect.bisect_left(self._live_ids, key)
+        candidates = {self._live_ids[(idx - 1) % len(self._live_ids)],
+                      self._live_ids[idx % len(self._live_ids)]}
+        best = min(candidates,
+                   key=lambda nid: (circular_distance(nid, key, bits=self.bits),
+                                    nid))
+        return self.nodes[best]
+
+    def route(self, key: int, start: PastryNode | None = None) -> RouteResult:
+        key &= (1 << self.bits) - 1
+        if start is None or not start.alive:
+            start = self._random_live()
+        if start is None:
+            result = RouteResult(False, None, 0)
+            self.lookup_stats.record(result)
+            return result
+        key_digits = digits_of(key, bits=self.bits, b=self.b)
+        cur = start
+        hops = 0
+        path = [cur.node_id]
+        success = True
+        max_hops = 4 * len(cur.digits) + 2 * self.size + 8
+        while True:
+            if hops > max_hops:
+                success = False
+                break
+            # Fast path: the key falls inside the leaf-set arc.
+            if cur.key_in_leaf_range(key):
+                closest = cur.closest_leaf(key)
+                if closest is not cur:
+                    hops += 1
+                    path.append(closest.node_id)
+                cur = closest
+                break
+            row = shared_prefix_len(cur.digits, key_digits)
+            nxt = None
+            if row < len(cur.routing_table):
+                entry = cur.routing_table[row][key_digits[row]]
+                if entry is not None and entry.alive:
+                    nxt = entry
+            if nxt is None:
+                # Rare case: no (live) routing entry — forward to any known
+                # node with >= prefix length that is strictly closer.
+                cur_d = circular_distance(cur.node_id, key, bits=self.bits)
+                for cand in cur.all_known():
+                    if not cand.alive:
+                        continue
+                    if shared_prefix_len(cand.digits, key_digits) >= row and \
+                            circular_distance(cand.node_id, key,
+                                              bits=self.bits) < cur_d:
+                        nxt = cand
+                        break
+            if nxt is None:
+                # No progress possible: we are the closest node we know of.
+                break
+            cur = nxt
+            hops += 1
+            path.append(cur.node_id)
+        result = RouteResult(success, cur if success else None, hops, path)
+        self.lookup_stats.record(result)
+        return result
+
+    def replica_set(self, owner: PastryNode, key: int, replicas: int
+                    ) -> list[PastryNode]:
+        """Owner plus its nearest live leaves (Pastry/PAST replication)."""
+        out = [owner]
+        ranked = sorted(
+            (leaf for leaf in owner.leaf_set() if leaf.alive),
+            key=lambda n: (circular_distance(n.node_id, key, bits=self.bits),
+                           n.node_id),
+        )
+        for leaf in ranked:
+            if leaf not in out and len(out) < replicas:
+                out.append(leaf)
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _random_live(self) -> PastryNode | None:
+        if not self._live_ids:
+            return None
+        nid = self._live_ids[int(self.rng.integers(0, len(self._live_ids)))]
+        return self.nodes[nid]
+
+    def _leaf_neighborhood(self, nid: int) -> list[int]:
+        """Ids of the ``l`` nodes around ``nid`` in the sorted ring."""
+        ids = self._live_ids
+        n = len(ids)
+        if n <= 1:
+            return []
+        idx = bisect.bisect_left(ids, nid)
+        out = []
+        for k in range(1, self.l // 2 + 1):
+            out.append(ids[(idx - k) % n])
+            out.append(ids[(idx + k) % n])
+        return [i for i in dict.fromkeys(out) if i != nid]
+
+    def _oracle_state(self, node: PastryNode) -> None:
+        ids = self._live_ids
+        n = len(ids)
+        node.leaf_smaller = []
+        node.leaf_larger = []
+        if n > 1:
+            idx = bisect.bisect_left(ids, node.node_id)
+            half = min(self.l // 2, (n - 1) // 2 + 1)
+            seen = {node.node_id}
+            for k in range(1, half + 1):
+                small = ids[(idx - k) % n]
+                if small not in seen:
+                    seen.add(small)
+                    node.leaf_smaller.append(self.nodes[small])
+                large = ids[(idx + k) % n]
+                if large not in seen:
+                    seen.add(large)
+                    node.leaf_larger.append(self.nodes[large])
+        # Routing table: for each (row, col) pick the candidate closest to
+        # this node (Pastry would pick the *network*-closest; id-closest is
+        # the standard locality-free simulator stand-in).
+        prefix_groups = self._prefix_groups()
+        n_rows = len(node.routing_table)
+        n_cols = 1 << self.b
+        for row in range(n_rows):
+            prefix = node.digits[:row]
+            for col in range(n_cols):
+                if col == node.digits[row]:
+                    node.routing_table[row][col] = None
+                    continue
+                group = prefix_groups.get(prefix + (col,))
+                if not group:
+                    node.routing_table[row][col] = None
+                    continue
+                best = min(group, key=lambda nid: (
+                    circular_distance(nid, node.node_id, bits=self.bits), nid))
+                node.routing_table[row][col] = self.nodes[best]
+            if not any(e is not None for e in node.routing_table[row]) \
+                    and row > 0:
+                # No other node shares even this prefix: deeper rows are
+                # empty too; stop early (the leaf set covers delivery).
+                break
+
+    def _prefix_groups(self) -> dict[tuple[int, ...], list[int]]:
+        """Live ids grouped by every prefix (cache invalidated on churn)."""
+        if self._prefix_cache is not None:
+            return self._prefix_cache
+        groups: dict[tuple[int, ...], list[int]] = {}
+        depths = self.bits // self.b
+        for nid in self._live_ids:
+            digits = digits_of(nid, bits=self.bits, b=self.b)
+            for depth in range(1, depths + 1):
+                groups.setdefault(digits[:depth], []).append(nid)
+        self._prefix_cache = groups
+        return groups

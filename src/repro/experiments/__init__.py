@@ -1,0 +1,47 @@
+"""Experiment drivers — one per paper figure/table (see DESIGN.md §3).
+
+Each driver builds workloads, runs grids, and returns structured results
+plus a formatted text report printing the same rows/series the paper
+reports.  The benchmark harness under ``benchmarks/`` wraps these.
+"""
+
+from repro.experiments.runner import RunOutcome, run_workload, run_replicates
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.hops import run_hops_experiment
+from repro.experiments.pushing import run_pushing_experiment
+from repro.experiments.churn import run_churn_experiment
+from repro.experiments.dht_scaling import run_dht_scaling
+from repro.experiments.ablations import (
+    run_k_sweep_ablation,
+    run_ttl_ablation,
+    run_virtual_dimension_ablation,
+)
+from repro.experiments.fairness import run_fairness_experiment
+from repro.experiments.protocol import run_protocol_experiment
+from repro.experiments.scaling import run_scaling_experiment
+from repro.experiments.tuning import (
+    run_heartbeat_sweep,
+    run_latency_sensitivity,
+    run_walk_length_sweep,
+)
+
+__all__ = [
+    "RunOutcome",
+    "run_workload",
+    "run_replicates",
+    "Figure2Result",
+    "run_figure2",
+    "run_hops_experiment",
+    "run_pushing_experiment",
+    "run_churn_experiment",
+    "run_dht_scaling",
+    "run_k_sweep_ablation",
+    "run_ttl_ablation",
+    "run_virtual_dimension_ablation",
+    "run_fairness_experiment",
+    "run_protocol_experiment",
+    "run_scaling_experiment",
+    "run_heartbeat_sweep",
+    "run_latency_sensitivity",
+    "run_walk_length_sweep",
+]

@@ -1,0 +1,122 @@
+"""DHT lookup-cost scaling (§2's premise).
+
+"DHTs use computationally secure hashes to map arbitrary identifiers to
+random nodes in a system.  This randomized mapping allows DHTs to present
+a simple insertion and lookup API that is highly robust, scalable, and
+efficient."
+
+We substantiate the premise on all four substrates: mean lookup cost vs
+population size N should grow like O(log N) for Chord, O(log_16 N) for
+Pastry, O(log N) queries for Kademlia, and O(d * N^(1/d)) for CAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dht.can import CANNode, CANOverlay
+from repro.dht.chord import ChordOverlay
+from repro.dht.kademlia import KademliaOverlay
+from repro.dht.pastry import PastryOverlay
+from repro.metrics.report import format_table
+from repro.util.ids import guid_for
+from repro.util.rng import RngStreams
+
+
+@dataclass
+class DHTScalingResult:
+    sizes: tuple[int, ...]
+    can_dims: int
+    mean_hops: dict[str, list[float]] = field(default_factory=dict)
+
+    def report(self) -> str:
+        rows = []
+        for i, n in enumerate(self.sizes):
+            rows.append([
+                n,
+                round(self.mean_hops["chord"][i], 2),
+                round(self.mean_hops["pastry"][i], 2),
+                round(self.mean_hops["kademlia"][i], 2),
+                round(self.mean_hops["can"][i], 2),
+                round(float(np.log2(n)), 2),
+                round(float(self.can_dims / 4 * n ** (1 / self.can_dims)), 2),
+            ])
+        return format_table(
+            ["N", "chord hops", "pastry hops", "kademlia queries", "can hops",
+             "log2(N)", "(d/4)N^(1/d)"],
+            rows,
+            title=f"DHT lookup cost scaling (CAN d={self.can_dims})",
+        )
+
+    def shape_checks(self) -> dict[str, bool]:
+        sizes = np.asarray(self.sizes, dtype=float)
+
+        def growth_ratio(name: str) -> float:
+            """Observed cost growth across the size range."""
+            series = self.mean_hops[name]
+            return series[-1] / max(series[0], 1e-9)
+
+        n_ratio = sizes[-1] / sizes[0]
+        return {
+            # Logarithmic-flavoured growth: far slower than linear.
+            "chord_sublinear": growth_ratio("chord") < 0.5 * n_ratio,
+            "pastry_sublinear": growth_ratio("pastry") < 0.5 * n_ratio,
+            "kademlia_sublinear": growth_ratio("kademlia") < 0.5 * n_ratio,
+            "can_sublinear": growth_ratio("can") < 0.5 * n_ratio,
+            # Chord lookups track (1/2) log2 N within a small factor.
+            "chord_log_tracking": all(
+                hops <= 2.0 * np.log2(n) + 2.0
+                for hops, n in zip(self.mean_hops["chord"], sizes)
+            ),
+            # Pastry resolves b=4 bits per hop: ~ log16 N + the leaf hop.
+            "pastry_log16_tracking": all(
+                hops <= 2.0 * np.log2(n) / 4.0 + 3.0
+                for hops, n in zip(self.mean_hops["pastry"], sizes)
+            ),
+        }
+
+
+def run_dht_scaling(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
+                    lookups: int = 300, can_dims: int = 4,
+                    seed: int = 1) -> DHTScalingResult:
+    result = DHTScalingResult(sizes=sizes, can_dims=can_dims)
+    streams = RngStreams(seed)
+    for name in ("chord", "pastry", "kademlia", "can"):
+        result.mean_hops[name] = []
+    for n in sizes:
+        ids = sorted({guid_for(f"dht-node-{n}-{i}") for i in range(n)})
+
+        chord = ChordOverlay(streams[f"chord-{n}"])
+        chord.build(ids)
+        result.mean_hops["chord"].append(_mean_hops(chord, n, lookups, "c"))
+
+        pastry = PastryOverlay(streams[f"pastry-{n}"])
+        pastry.build(ids)
+        result.mean_hops["pastry"].append(_mean_hops(pastry, n, lookups, "p"))
+
+        kad = KademliaOverlay(streams[f"kad-{n}"])
+        kad.build(ids)
+        result.mean_hops["kademlia"].append(_mean_hops(kad, n, lookups, "k"))
+
+        can = CANOverlay(streams[f"can-{n}"], dims=can_dims)
+        coord_rng = streams[f"can-coords-{n}"]
+        for i, nid in enumerate(ids):
+            can.join(CANNode(nid, tuple(coord_rng.uniform(0, 1, can_dims))))
+        hops = []
+        for i in range(lookups):
+            res = can.route(tuple(coord_rng.uniform(0, 1, can_dims)))
+            if res.success:
+                hops.append(res.hops)
+        result.mean_hops["can"].append(float(np.mean(hops)))
+    return result
+
+
+def _mean_hops(overlay, n: int, lookups: int, tag: str) -> float:
+    hops = []
+    for i in range(lookups):
+        res = overlay.route(guid_for(f"lookup-{tag}-{n}-{i}"))
+        if res.success:
+            hops.append(res.hops)
+    return float(np.mean(hops))

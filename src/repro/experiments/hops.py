@@ -1,0 +1,69 @@
+"""Matchmaking-cost experiment (paper prose, results "not shown").
+
+"In results not shown, we have verified that both the CAN and RN-Tree can
+find an appropriate run node for a job with a small number of hops
+through the P2P overlay network."
+
+We regenerate that table: for every Figure 2 scenario and decentralized
+matchmaker, the mean overlay hops spent mapping the job to its owner, the
+mean search hops spent finding the run node, the candidate load probes,
+and the total matchmaking cost per job.  "Small" means O(log N)-flavoured,
+far below N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.workloads.spec import FIGURE2_SCENARIOS
+
+
+@dataclass
+class HopsResult:
+    n_nodes: int
+    rows: list[list] = field(default_factory=list)
+
+    def report(self) -> str:
+        return format_table(
+            ["scenario", "matchmaker", "owner hops", "search hops",
+             "probes", "total cost"],
+            self.rows,
+            title=f"Matchmaking cost per job, N={self.n_nodes} "
+                  f"(paper: 'a small number of hops')",
+        )
+
+    def shape_checks(self) -> dict[str, bool]:
+        total_by_mm: dict[str, list[float]] = {}
+        for _scenario, mm, _oh, _sh, _pr, total in self.rows:
+            total_by_mm.setdefault(mm, []).append(total)
+        # "Small number of hops" means O(log N)-flavoured.  The cost also
+        # has constant parts (k candidate probes, the random-walk length),
+        # so the bound has an additive floor that dominates at tiny N.
+        import math
+
+        bound = 4.0 * math.log2(max(self.n_nodes, 2)) + 12.0
+        return {
+            f"{mm}_cost_small": max(vals) < min(bound, self.n_nodes / 2)
+            for mm, vals in total_by_mm.items()
+        }
+
+
+def run_hops_experiment(scale: float = 0.25, seed: int = 1,
+                        matchmakers: tuple[str, ...] = ("rn-tree", "can"),
+                        max_time: float = 1e6) -> HopsResult:
+    first = next(iter(FIGURE2_SCENARIOS.values())).scaled(scale)
+    result = HopsResult(n_nodes=first.n_nodes)
+    for scenario, workload in FIGURE2_SCENARIOS.items():
+        wl = workload.scaled(scale)
+        for mm in matchmakers:
+            s = run_workload(wl, mm, seed=seed, max_time=max_time).summary
+            result.rows.append([
+                scenario, mm,
+                round(s["owner_hops_mean"], 2),
+                round(s["match_hops_mean"], 2),
+                round(s["probes_mean"], 2),
+                round(s["match_cost_mean"], 2),
+            ])
+    return result

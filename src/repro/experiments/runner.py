@@ -1,0 +1,111 @@
+"""Shared experiment machinery: build a grid, drive a workload, summarize.
+
+The A/B discipline matters here: for a given (workload config, seed), the
+node population and job stream are generated *once* from dedicated RNG
+streams and replayed identically against every matchmaker, so wait-time
+differences are attributable to matchmaking alone — the same methodology
+as the paper's simulator comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.grid.job import Job
+from repro.grid.system import DesktopGrid, GridConfig
+from repro.match import make_matchmaker
+from repro.util.rng import RngStreams
+from repro.workloads.jobs import ScheduledJob, generate_job_stream
+from repro.workloads.nodes import generate_nodes
+from repro.workloads.spec import WorkloadConfig
+
+
+@dataclass
+class RunOutcome:
+    """Results of one grid run."""
+
+    matchmaker: str
+    workload: WorkloadConfig
+    seed: int
+    summary: dict[str, float]
+    wait_times: np.ndarray = field(repr=False)
+    match_costs: np.ndarray = field(repr=False)
+    node_exec_counts: list[int] = field(repr=False, default_factory=list)
+    sim_time: float = 0.0
+    finished: bool = True
+
+    @property
+    def wait_mean(self) -> float:
+        return self.summary["wait_mean"]
+
+    @property
+    def wait_std(self) -> float:
+        return self.summary["wait_std"]
+
+
+def build_population(workload: WorkloadConfig, seed: int
+                     ) -> tuple[list[tuple[str, tuple[float, ...]]], list[ScheduledJob]]:
+    """Generate the (nodes, job stream) pair for a workload+seed."""
+    streams = RngStreams(seed)
+    nodes = generate_nodes(workload, streams["workload-nodes"])
+    jobs = generate_job_stream(workload, streams["workload-jobs"],
+                               [cap for _, cap in nodes])
+    return nodes, jobs
+
+
+def drive(grid: DesktopGrid, workload: WorkloadConfig,
+          stream: list[ScheduledJob], max_time: float = 1e6) -> bool:
+    """Create clients, schedule the whole stream, and run to completion."""
+    clients = [grid.client(f"client-{i}") for i in range(workload.n_clients)]
+    for sj in stream:
+        client = clients[sj.client_index]
+        job = Job(profile=sj.profile(client.node_id))
+        grid.submit_at(sj.submit_time, client, job)
+    return grid.run_until_done(max_time=max_time)
+
+
+def run_workload(workload: WorkloadConfig, matchmaker: str, seed: int = 1,
+                 grid_cfg: GridConfig | None = None,
+                 mm_kwargs: dict[str, Any] | None = None,
+                 max_time: float = 1e6) -> RunOutcome:
+    """Run one (workload, matchmaker, seed) cell and summarize it."""
+    nodes, stream = build_population(workload, seed)
+    cfg = grid_cfg if grid_cfg is not None else GridConfig(seed=seed,
+                                                           spec=workload.spec)
+    grid = DesktopGrid(cfg, make_matchmaker(matchmaker, **(mm_kwargs or {})),
+                       nodes)
+    finished = drive(grid, workload, stream, max_time=max_time)
+    counts = grid.node_execution_counts()
+    return RunOutcome(
+        matchmaker=matchmaker,
+        workload=workload,
+        seed=seed,
+        summary=grid.metrics.summary(node_loads=counts),
+        wait_times=grid.metrics.wait_times(),
+        match_costs=grid.metrics.total_matchmaking_cost(),
+        node_exec_counts=counts,
+        sim_time=grid.sim.now,
+        finished=finished,
+    )
+
+
+def run_replicates(workload: WorkloadConfig, matchmaker: str,
+                   seeds: tuple[int, ...] = (1, 2, 3),
+                   mm_kwargs: dict[str, Any] | None = None,
+                   max_time: float = 1e6) -> dict[str, float]:
+    """Mean-of-replicates summary over multiple seeds.
+
+    ``wait_std`` is averaged across replicates (each replicate's stdev is
+    the within-run dispersion the paper plots), not pooled.
+    """
+    outcomes = [run_workload(workload, matchmaker, seed=s,
+                             mm_kwargs=mm_kwargs, max_time=max_time)
+                for s in seeds]
+    keys = outcomes[0].summary.keys()
+    agg = {k: float(np.mean([o.summary[k] for o in outcomes])) for k in keys}
+    agg["replicates"] = float(len(outcomes))
+    agg["all_finished"] = float(all(o.finished for o in outcomes))
+    return agg

@@ -1,0 +1,34 @@
+"""The desktop-grid core: the paper's primary contribution.
+
+Implements the §2 architecture — clients inject jobs into a P2P overlay;
+the overlay maps each job to an *owner node* (monitor/recovery agent); a
+matchmaking mechanism (pluggable, see :mod:`repro.match`) finds a *run
+node* that satisfies the job's minimum resource requirements; run nodes
+execute jobs from a FIFO queue, one at a time, sending per-job soft-state
+heartbeats back to the owner; owner and run node recover each other's
+failures, and the client resubmits only if both fail.
+"""
+
+from repro.grid.resources import (
+    ResourceSpec,
+    dominates,
+    satisfies,
+)
+from repro.grid.job import Job, JobProfile, JobState
+from repro.grid.node import GridNode
+from repro.grid.system import DesktopGrid, GridConfig
+from repro.grid.sandbox import SandboxPolicy, SandboxViolation
+
+__all__ = [
+    "ResourceSpec",
+    "dominates",
+    "satisfies",
+    "Job",
+    "JobProfile",
+    "JobState",
+    "GridNode",
+    "DesktopGrid",
+    "GridConfig",
+    "SandboxPolicy",
+    "SandboxViolation",
+]

@@ -1,0 +1,137 @@
+"""Clients: job submission and last-resort resubmission.
+
+A client is a lightweight network endpoint (it is *not* a grid node; the
+paper's clients merely inject jobs and collect results).  Per §2, if both
+the owner and the run node fail before recovery completes, "the client
+must resubmit the job" — the client learns this only from silence: owners
+relay heartbeat status to the client, and a job with no status and no
+result for ``client_timeout`` is resubmitted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.grid.job import Job, JobState
+from repro.sim.network import Message
+from repro.sim.process import PeriodicTask
+from repro.util.ids import guid_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.system import DesktopGrid
+
+
+class Client:
+    """A job submitter/collector endpoint."""
+
+    def __init__(self, name: str, grid: "DesktopGrid"):
+        self.name = name
+        self.node_id = guid_for(f"client:{name}")
+        self.grid = grid
+        self.alive = True
+        self.pending: dict[int, Job] = {}
+        self._last_seen: dict[int, float] = {}
+        self.completed: list[Job] = []
+        self.resubmissions = 0
+        self.duplicate_results = 0
+        self._watch_task: PeriodicTask | None = None
+        #: Observers invoked with each finished Job (used by the DAG
+        #: scheduler to release dependent jobs).
+        self.result_callbacks: list = []
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Inject ``job`` now (schedule via ``DesktopGrid.submit_at`` for
+        future submission times)."""
+        job.attempt += 1
+        if job.state is JobState.CREATED:
+            job.submit_time = self.grid.sim.now
+        job.state = JobState.SUBMITTED
+        self.pending[job.guid] = job
+        self._last_seen[job.guid] = self.grid.sim.now
+        self.grid.trace.record(self.grid.sim.now, "submit",
+                               job=job.name, attempt=job.attempt)
+        self.grid.inject(job, client=self)
+        if self.grid.cfg.client_resubmit_enabled:
+            self._ensure_watch_task()
+
+    # -- endpoint ----------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> None:
+        if msg.kind == "status":
+            self._last_seen[msg.payload] = self.grid.sim.now
+        elif msg.kind == "result":
+            self._on_result(msg.payload)
+        elif msg.kind == "result-pointer":
+            self._on_result_pointer(msg.payload)
+        else:
+            raise ValueError(f"client got unexpected message kind {msg.kind!r}")
+
+    def _on_result_pointer(self, job: Job) -> None:
+        """Resolve a result GUID (§2: the result may come back as "a
+        pointer to the result (another GUID)")."""
+        if job.guid not in self.pending:
+            self.duplicate_results += 1
+            return
+        self._last_seen[job.guid] = self.grid.sim.now
+        value, hops = self.grid.matchmaker.fetch_result(job)
+        self.grid.sim.schedule(self.grid.route_delay(hops + 1),
+                               self._resolve_pointer, job, value)
+
+    def _resolve_pointer(self, job: Job, value) -> None:
+        if value is None:
+            # Every replica died before we fetched; the resubmission
+            # watchdog (or a later duplicate announcement) recovers.
+            return
+        job.result = value
+        self._on_result(job)
+
+    def _on_result(self, job: Job) -> None:
+        if job.guid not in self.pending:
+            self.duplicate_results += 1
+            return
+        self.pending.pop(job.guid)
+        self._last_seen.pop(job.guid, None)
+        if job.state is not JobState.FAILED:
+            job.state = JobState.COMPLETED
+        job.finish_time = self.grid.sim.now
+        self.completed.append(job)
+        self.grid.trace.record(self.grid.sim.now, "complete",
+                               job=job.name, state=job.state.value,
+                               wait=job.wait_time)
+        self.grid.metrics.on_job_done(job)
+        for callback in self.result_callbacks:
+            callback(job)
+
+    # -- resubmission watchdog ----------------------------------------------
+
+    def _ensure_watch_task(self) -> None:
+        if self._watch_task is None:
+            cfg = self.grid.cfg
+            self._watch_task = PeriodicTask(
+                self.grid.sim, cfg.client_check_interval, self._check_pending,
+                rng=self.grid.rng_protocol, jitter=0.1,
+            )
+
+    def _check_pending(self) -> None:
+        cfg = self.grid.cfg
+        now = self.grid.sim.now
+        for guid, job in list(self.pending.items()):
+            deadline = cfg.client_timeout
+            if now - self._last_seen.get(guid, job.submit_time) <= deadline:
+                continue
+            if job.attempt > cfg.client_max_attempts:
+                job.state = JobState.LOST
+                job.failure_reason = "abandoned after max resubmissions"
+                self.pending.pop(guid)
+                self.grid.metrics.on_job_done(job)
+                continue
+            self.resubmissions += 1
+            self.grid.metrics.on_resubmission(job)
+            job.state = JobState.SUBMITTED
+            job.owner_id = None
+            job.run_node_id = None
+            job.attempt += 1
+            self._last_seen[guid] = now
+            self.grid.inject(job, client=self)

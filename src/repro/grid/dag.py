@@ -1,0 +1,144 @@
+"""Job dependencies: the DAGMan-style extension (paper §5, future work).
+
+"If computational scientists also use the system for data analysis of
+results, then the system will have to distinguish between job types
+(simulation vs. analysis) and perform the jobs in the correct order
+(analysis after simulation of a given problem), and make the output of a
+simulation job available as the input for the corresponding analysis
+job(s).  We will investigate using existing software packages, such as
+Condor's DAGMan, for managing dependencies between jobs."
+
+:class:`DagScheduler` implements exactly that on top of the grid's public
+API: declare jobs with dependencies; roots are submitted immediately; a
+job is released when all its parents complete, with each parent's result
+wired into the child's ``inputs``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.grid.client import Client
+from repro.grid.job import Job, JobProfile, JobState
+from repro.grid.resources import Vector
+
+
+class DagJobKind(enum.Enum):
+    SIMULATION = "simulation"
+    ANALYSIS = "analysis"
+
+
+class DagCycleError(ValueError):
+    """The declared dependencies contain a cycle."""
+
+
+@dataclass
+class DagNode:
+    """One vertex of the workflow DAG."""
+
+    name: str
+    job: Job
+    kind: DagJobKind
+    parents: tuple[str, ...]
+    children: list[str] = field(default_factory=list)
+    unfinished_parents: int = 0
+    released: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.job.state is JobState.COMPLETED
+
+
+class DagScheduler:
+    """Submits a workflow DAG through a client, honoring dependencies."""
+
+    def __init__(self, grid, client: Client):
+        self.grid = grid
+        self.client = client
+        self.nodes: dict[str, DagNode] = {}
+        self._submitted = False
+        client.result_callbacks.append(self._on_result)
+
+    # -- declaration --------------------------------------------------------
+
+    def add_job(self, name: str, requirements: Vector, work: float,
+                deps: tuple[str, ...] = (),
+                kind: DagJobKind | str = DagJobKind.SIMULATION) -> Job:
+        """Declare one DAG vertex.  Parents must be declared first."""
+        if self._submitted:
+            raise RuntimeError("DAG already submitted")
+        if name in self.nodes:
+            raise ValueError(f"duplicate DAG job name {name!r}")
+        for dep in deps:
+            if dep not in self.nodes:
+                raise ValueError(f"{name!r} depends on undeclared job {dep!r}")
+        if isinstance(kind, str):
+            kind = DagJobKind(kind)
+        profile = JobProfile(name=name, client_id=self.client.node_id,
+                             requirements=requirements, work=work)
+        job = Job(profile=profile)
+        job.extra["dag_kind"] = kind.value
+        node = DagNode(name=name, job=job, kind=kind, parents=tuple(deps),
+                       unfinished_parents=len(deps))
+        for dep in deps:
+            self.nodes[dep].children.append(name)
+        self.nodes[name] = node
+        return job
+
+    # -- execution ------------------------------------------------------------
+
+    def submit(self) -> int:
+        """Release every root job now.  Returns the number released."""
+        if self._submitted:
+            raise RuntimeError("DAG already submitted")
+        self._check_acyclic()
+        self._submitted = True
+        released = 0
+        for node in self.nodes.values():
+            if node.unfinished_parents == 0:
+                self._release(node)
+                released += 1
+        return released
+
+    def _release(self, node: DagNode) -> None:
+        node.released = True
+        node.job.extra["inputs"] = {
+            parent: self.nodes[parent].job.result for parent in node.parents
+        }
+        self.client.submit(node.job)
+
+    def _on_result(self, job: Job) -> None:
+        node = self.nodes.get(job.name)
+        if node is None or job.state is not JobState.COMPLETED:
+            return
+        for child_name in node.children:
+            child = self.nodes[child_name]
+            child.unfinished_parents -= 1
+            if child.unfinished_parents == 0 and not child.released:
+                self._release(child)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return all(n.done for n in self.nodes.values())
+
+    def progress(self) -> tuple[int, int]:
+        done = sum(1 for n in self.nodes.values() if n.done)
+        return done, len(self.nodes)
+
+    def _check_acyclic(self) -> None:
+        # Kahn's algorithm over the declared edges.
+        indeg = {name: len(n.parents) for name, n in self.nodes.items()}
+        queue = [name for name, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            name = queue.pop()
+            seen += 1
+            for child in self.nodes[name].children:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    queue.append(child)
+        if seen != len(self.nodes):
+            raise DagCycleError("dependency graph contains a cycle")

@@ -1,0 +1,467 @@
+"""Grid nodes: the combined runner/owner protocol machine.
+
+Every participant can simultaneously play both §2 roles:
+
+* **Run node** — executes jobs from a FIFO queue one at a time, sends a
+  per-job heartbeat to each job's owner while the job is queued or
+  running ("the run node must generate heartbeat messages for every job in
+  its job queue, including jobs that are not yet running"), returns the
+  result directly to the client, and watches heartbeat *acks* to detect a
+  dead owner, in which case it re-inserts the job profile into the DHT to
+  recruit a replacement owner.
+* **Owner node** — monitors every job mapped to it, re-runs matchmaking
+  when a run node's heartbeats stop, and relays status to the client.
+
+All control traffic uses direct network messages (the paper: "we employ a
+direct connection between the run node and the owner node ... rather than
+using the P2P network routing mechanism").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.grid.job import Job, JobState
+from repro.grid.resources import Vector
+from repro.grid.sandbox import SandboxViolation
+from repro.sim.kernel import EventHandle
+from repro.sim.network import Message
+from repro.sim.process import PeriodicTask
+from repro.util.ids import guid_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.system import DesktopGrid
+
+
+class OwnedJob:
+    """Owner-side monitoring record for one job (profile replica + liveness)."""
+
+    __slots__ = ("job", "run_node_id", "last_heartbeat")
+
+    def __init__(self, job: Job, run_node_id: int | None, now: float):
+        self.job = job
+        self.run_node_id = run_node_id
+        self.last_heartbeat = now
+
+
+class GridNode:
+    """One desktop-grid participant (network endpoint + protocol state)."""
+
+    def __init__(self, name: str, capability: Vector, grid: "DesktopGrid"):
+        self.name = name
+        self.node_id = guid_for(name)
+        self.capability = capability
+        self.grid = grid
+        self._alive = True
+
+        # Runner state.
+        self.queue: deque[Job] = deque()
+        self.running: Job | None = None
+        self._completion: EventHandle | None = None
+        self._last_ack: dict[int, float] = {}  # job guid -> last owner ack
+
+        # Owner state.
+        self.owned: dict[int, OwnedJob] = {}   # job guid -> record
+
+        # Periodic protocol tasks (created lazily when heartbeats are on).
+        self._hb_task: PeriodicTask | None = None
+        self._monitor_task: PeriodicTask | None = None
+
+        # Lifetime accounting.
+        self.jobs_executed = 0
+        self.busy_time = 0.0
+        #: Per-client CPU seconds served here (fair-share discipline state).
+        self.client_service: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # endpoint interface
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def queue_len(self) -> int:
+        """Load metric: queued jobs plus the running one."""
+        return len(self.queue) + (1 if self.running is not None else 0)
+
+    def handle_message(self, msg: Message) -> None:
+        handler = self._HANDLERS.get(msg.kind)
+        if handler is None:
+            raise ValueError(f"unknown message kind {msg.kind!r}")
+        handler(self, msg)
+
+    # ------------------------------------------------------------------
+    # owner role
+    # ------------------------------------------------------------------
+
+    def owner_receive(self, job: Job, route_hops: int) -> None:
+        """The DHT mapped ``job`` to this node; become its owner (§2 step 3)."""
+        sim = self.grid.sim
+        job.owner_id = self.node_id
+        job.owner_time = sim.now
+        job.owner_route_hops += route_hops
+        job.state = JobState.MATCHING
+        self.owned[job.guid] = OwnedJob(job, None, sim.now)
+        self._ensure_owner_tasks()
+        self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
+
+    def _match_and_dispatch(self, job: Job, retries_left: int) -> None:
+        """Run the matchmaker and ship the job to the chosen run node."""
+        if job.is_done or not self._alive:
+            return
+        result = self.grid.matchmaker.find_run_node(self, job)
+        job.match_hops += result.hops
+        job.match_probes += result.probes
+        job.pushes += result.pushes
+        cfg = self.grid.cfg
+        if result.node is None:
+            if retries_left > 0:
+                self.grid.sim.schedule(
+                    cfg.match_retry_backoff, self._match_and_dispatch,
+                    job, retries_left - 1,
+                )
+            else:
+                self._owner_fail_job(job, "no satisfying node found")
+            return
+        job.match_time = self.grid.sim.now
+        job.run_node_id = result.node.node_id
+        self.grid.trace.record(self.grid.sim.now, "match", job=job.name,
+                               run_node=result.node.name,
+                               hops=result.hops, probes=result.probes)
+        rec = self.owned.get(job.guid)
+        if rec is not None:
+            rec.run_node_id = result.node.node_id
+            rec.last_heartbeat = self.grid.sim.now
+        # Matchmaking consumed overlay hops and candidate probes; charge
+        # their latency before the job lands in the run node's queue.
+        delay = self.grid.match_delay(result)
+        self.grid.sim.schedule(delay, self._dispatch, job, result.node.node_id,
+                               retries_left)
+
+    def _dispatch(self, job: Job, run_node_id: int, retries_left: int) -> None:
+        if job.is_done or not self._alive:
+            return
+        self.grid.network.send("assign", self.node_id, run_node_id, job)
+
+    def _owner_fail_job(self, job: Job, reason: str) -> None:
+        job.state = JobState.FAILED
+        job.failure_reason = reason
+        self.owned.pop(job.guid, None)
+        self.grid.network.send("result", self.node_id, job.profile.client_id, job)
+
+    def _on_heartbeat(self, msg: Message) -> None:
+        job_guid, run_node_id = msg.payload
+        rec = self.owned.get(job_guid)
+        if rec is None:
+            # We may be a freshly recruited owner (or recovered node) that
+            # lost the record; re-adopt if we are this job's current owner.
+            job = self.grid.jobs.get(job_guid)
+            if job is None or job.is_done or job.owner_id != self.node_id:
+                return  # stale heartbeat; no ack, runner will recover
+            rec = OwnedJob(job, run_node_id, self.grid.sim.now)
+            self.owned[job_guid] = rec
+            self._ensure_owner_tasks()
+        rec.run_node_id = run_node_id
+        rec.last_heartbeat = self.grid.sim.now
+        self.grid.network.send("hb-ack", self.node_id, run_node_id, job_guid)
+        if self.grid.cfg.relay_status_to_client:
+            self.grid.network.send("status", self.node_id,
+                                   rec.job.profile.client_id, job_guid)
+
+    def _on_complete(self, msg: Message) -> None:
+        self.owned.pop(msg.payload, None)
+
+    def _on_adopt(self, msg: Message) -> None:
+        """A run node detected our predecessor's death and recruited us."""
+        job = msg.payload
+        if job.is_done:
+            return
+        job.owner_id = self.node_id
+        self.owned[job.guid] = OwnedJob(job, job.run_node_id, self.grid.sim.now)
+        self._ensure_owner_tasks()
+
+    def _monitor_owned(self) -> None:
+        """Periodic owner sweep: re-match jobs whose run node went silent."""
+        if not self._alive:
+            return
+        cfg = self.grid.cfg
+        now = self.grid.sim.now
+        timeout = cfg.heartbeat_interval * cfg.heartbeat_miss_limit
+        for rec in list(self.owned.values()):
+            job = rec.job
+            if job.is_done:
+                self.owned.pop(job.guid, None)
+                continue
+            if rec.run_node_id is None:
+                continue  # matchmaking still in flight
+            if now - rec.last_heartbeat > timeout:
+                run_node = self.grid.nodes.get(rec.run_node_id)
+                still_there = (
+                    run_node is not None and run_node.alive
+                    and run_node._has_job(job)
+                )
+                if still_there:
+                    # Heartbeats delayed, not dead; keep waiting.  (A real
+                    # owner can't see this, but its next heartbeat would
+                    # arrive before any recovery message round-trip anyway.)
+                    continue
+                job.run_node_failures += 1
+                self.grid.trace.record(now, "recovery", kind="run-node",
+                                       job=job.name)
+                job.state = JobState.MATCHING
+                job.run_node_id = None
+                rec.run_node_id = None
+                rec.last_heartbeat = now
+                self.grid.metrics.on_recovery("run-node", job)
+                self._match_and_dispatch(job, retries_left=cfg.match_retries)
+
+    def _ensure_owner_tasks(self) -> None:
+        cfg = self.grid.cfg
+        if not cfg.heartbeats_enabled or self._monitor_task is not None:
+            return
+        self._monitor_task = PeriodicTask(
+            self.grid.sim, cfg.heartbeat_interval, self._monitor_owned,
+            rng=self.grid.rng_protocol, jitter=0.1,
+        )
+
+    # ------------------------------------------------------------------
+    # runner role
+    # ------------------------------------------------------------------
+
+    def _on_assign(self, msg: Message) -> None:
+        job: Job = msg.payload
+        if job.is_done or job.run_node_id != self.node_id:
+            return  # superseded assignment (owner re-matched elsewhere)
+        if self._has_job(job):
+            return  # duplicate delivery
+        job.state = JobState.QUEUED
+        job.enqueue_time = self.grid.sim.now
+        self._last_ack[job.guid] = self.grid.sim.now
+        self.queue.append(job)
+        self.grid.on_queue_change(self)
+        self._ensure_runner_tasks()
+        self._maybe_start()
+
+    def _has_job(self, job: Job) -> bool:
+        return job is self.running or job in self.queue
+
+    def _pop_next_job(self) -> Job:
+        """Select the next job per the configured queue discipline."""
+        if self.grid.cfg.queue_discipline == "fair-share" and len(self.queue) > 1:
+            # Least locally-served client first; FIFO inside a client (the
+            # scan is fine: queues hold at most tens of jobs).
+            best_i = 0
+            best_served = self.client_service.get(
+                self.queue[0].profile.client_id, 0.0)
+            for i in range(1, len(self.queue)):
+                served = self.client_service.get(
+                    self.queue[i].profile.client_id, 0.0)
+                if served < best_served:
+                    best_i, best_served = i, served
+            if best_i:
+                self.queue.rotate(-best_i)
+                job = self.queue.popleft()
+                self.queue.rotate(best_i)
+                return job
+        return self.queue.popleft()
+
+    def _maybe_start(self) -> None:
+        if self.running is not None or not self.queue:
+            return
+        job = self._pop_next_job()
+        if job.is_done or job.run_node_id != self.node_id:
+            self.grid.on_queue_change(self)
+            self._maybe_start()
+            return
+        try:
+            self.grid.cfg.sandbox.check_admission(
+                job.profile, needs_network=bool(job.extra.get("needs_network")))
+        except SandboxViolation as exc:
+            self._fail_job(job, f"sandbox: {exc}")
+            self._maybe_start()
+            return
+        self.running = job
+        job.state = JobState.RUNNING
+        job.start_time = self.grid.sim.now
+        job.executions += 1
+        self.grid.trace.record(self.grid.sim.now, "start", job=job.name,
+                               node=self.name, wait=job.wait_time)
+        duration = self.execution_time(job)
+        # Staging: input before, output after, over the configured link.
+        # KB-scale I/O (the paper's workloads) makes this negligible; it is
+        # the knob for studying I/O-heavier jobs.
+        staging = (job.profile.input_size_kb + job.profile.output_size_kb) \
+            / self.grid.cfg.staging_bandwidth_kbps
+        limit = self.grid.cfg.sandbox.runtime_limit(job.profile)
+        if limit is not None and duration > limit:
+            # Runaway guard: the job will be killed at the limit.
+            self._completion = self.grid.sim.schedule(
+                limit, self._finish_running, job, "sandbox: runtime limit exceeded")
+        else:
+            self._completion = self.grid.sim.schedule(
+                duration + staging, self._finish_running, job, None)
+
+    def execution_time(self, job: Job) -> float:
+        """Wall-clock execution time of ``job`` on this node."""
+        cfg = self.grid.cfg
+        if cfg.scale_runtime_by_cpu:
+            speed = self.capability[cfg.cpu_dim] / cfg.reference_cpu_level
+            return job.profile.work / max(speed, 1e-9)
+        return job.profile.work
+
+    def _finish_running(self, job: Job, failure: str | None) -> None:
+        self._completion = None
+        self.running = None
+        self.jobs_executed += 1
+        served = self.grid.sim.now - job.start_time
+        self.busy_time += served
+        cid = job.profile.client_id
+        self.client_service[cid] = self.client_service.get(cid, 0.0) + served
+        if failure is None:
+            try:
+                self.grid.cfg.sandbox.check_completion(job.profile)
+            except SandboxViolation as exc:
+                failure = f"sandbox: {exc}"
+        if failure is not None:
+            self._fail_job(job, failure)
+        else:
+            job.result = job.extra.get("result_payload", f"output:{job.name}")
+            if job.owner_id is not None:
+                self.grid.network.send("complete", self.node_id, job.owner_id,
+                                       job.guid)
+            self._return_result(job)
+        self._last_ack.pop(job.guid, None)
+        self.grid.on_queue_change(self)
+        self._maybe_start()
+
+    def _return_result(self, job: Job) -> None:
+        """§2 step 6: return the result to the client — inline, or (in
+        pointer mode) stored into the matchmaker's DHT with replication and
+        announced as a GUID pointer the client resolves."""
+        if self.grid.cfg.result_return == "pointer":
+            stored, hops = self.grid.matchmaker.store_result(job, job.result)
+            if stored:
+                job.extra["result_store_hops"] = hops
+                # The store consumed overlay hops before the announcement
+                # can go out; if we die in that window the result is still
+                # in the DHT but unannounced — the client's watchdog covers
+                # that, same as any lost message.
+                self.grid.sim.schedule(self.grid.route_delay(hops),
+                                       self._announce_pointer, job)
+                return
+        self.grid.network.send("result", self.node_id,
+                               job.profile.client_id, job)
+
+    def _announce_pointer(self, job: Job) -> None:
+        if not self._alive:
+            return
+        self.grid.network.send("result-pointer", self.node_id,
+                               job.profile.client_id, job)
+
+    def _fail_job(self, job: Job, reason: str) -> None:
+        job.state = JobState.FAILED
+        job.failure_reason = reason
+        if job.owner_id is not None:
+            self.grid.network.send("complete", self.node_id, job.owner_id, job.guid)
+        self.grid.network.send("result", self.node_id, job.profile.client_id, job)
+
+    def _send_heartbeats(self) -> None:
+        """One heartbeat per queued/running job (§2 step 5)."""
+        jobs = list(self.queue)
+        if self.running is not None:
+            jobs.append(self.running)
+        for job in jobs:
+            if job.owner_id is not None:
+                self.grid.network.send("heartbeat", self.node_id, job.owner_id,
+                                       (job.guid, self.node_id))
+
+    def _on_hb_ack(self, msg: Message) -> None:
+        self._last_ack[msg.payload] = self.grid.sim.now
+
+    def _watch_owner_acks(self) -> None:
+        """Detect a dead owner: stale acks => re-insert the job profile into
+        the DHT to recruit a replacement owner (§2 failure recovery)."""
+        cfg = self.grid.cfg
+        now = self.grid.sim.now
+        timeout = cfg.heartbeat_interval * cfg.heartbeat_miss_limit
+        jobs = list(self.queue)
+        if self.running is not None:
+            jobs.append(self.running)
+        for job in jobs:
+            last = self._last_ack.get(job.guid)
+            if last is None or now - last <= timeout:
+                continue
+            job.owner_failures += 1
+            self.grid.trace.record(now, "recovery", kind="owner",
+                                   job=job.name)
+            self.grid.metrics.on_recovery("owner", job)
+            new_owner, hops = self.grid.matchmaker.find_owner(job, start=self)
+            job.owner_route_hops += hops
+            self._last_ack[job.guid] = now  # give the recruit time to answer
+            if new_owner is None:
+                continue  # overlay unreachable; retry next sweep
+            job.owner_id = new_owner.node_id
+            self.grid.network.send("adopt-owner", self.node_id,
+                                   new_owner.node_id, job)
+
+    def _ensure_runner_tasks(self) -> None:
+        cfg = self.grid.cfg
+        if not cfg.heartbeats_enabled or self._hb_task is not None:
+            return
+        self._hb_task = PeriodicTask(
+            self.grid.sim, cfg.heartbeat_interval, self._runner_tick,
+            rng=self.grid.rng_protocol, jitter=0.1,
+        )
+
+    def _runner_tick(self) -> None:
+        if not self._alive or (not self.queue and self.running is None):
+            return
+        self._send_heartbeats()
+        self._watch_owner_acks()
+
+    # ------------------------------------------------------------------
+    # failure / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Abrupt failure: all volatile state (queue, monitors) is lost."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self.queue.clear()
+        self.running = None
+        self.owned.clear()
+        self._last_ack.clear()
+        if self._hb_task is not None:
+            self._hb_task.stop()
+            self._hb_task = None
+        if self._monitor_task is not None:
+            self._monitor_task.stop()
+            self._monitor_task = None
+        self.grid.on_queue_change(self)
+
+    def recover(self) -> None:
+        """Rejoin with fresh, empty state (same identity and capability)."""
+        if self._alive:
+            return
+        self._alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self._alive else "DOWN"
+        return (f"GridNode({self.name!r}, {state}, cap={self.capability}, "
+                f"q={self.queue_len})")
+
+
+GridNode._HANDLERS = {
+    "assign": GridNode._on_assign,
+    "heartbeat": GridNode._on_heartbeat,
+    "hb-ack": GridNode._on_hb_ack,
+    "complete": GridNode._on_complete,
+    "adopt-owner": GridNode._on_adopt,
+}

@@ -1,0 +1,287 @@
+"""System wiring: the :class:`DesktopGrid` facade.
+
+This is the public entry point a downstream user drives: build a grid from
+a node population and a matchmaker, create clients, submit jobs, run the
+simulation, read metrics.  See ``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.grid.client import Client
+from repro.grid.job import Job, JobState
+from repro.grid.node import GridNode
+from repro.grid.resources import ResourceSpec, Vector
+from repro.grid.sandbox import SandboxPolicy
+from repro.match.base import Matchmaker, MatchResult
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+from repro.util.rng import RngStreams
+
+
+@dataclass
+class GridConfig:
+    """All tunables of a desktop-grid deployment."""
+
+    seed: int = 0
+    spec: ResourceSpec = field(default_factory=ResourceSpec)
+
+    # Network.
+    mean_latency: float = 0.05
+    latency_jitter: float = 0.3
+
+    # Heartbeat / recovery protocol (§2).  Off by default: the load-balance
+    # experiments (like the paper's) run failure-free and skip the traffic.
+    heartbeats_enabled: bool = False
+    heartbeat_interval: float = 5.0
+    heartbeat_miss_limit: float = 3.0
+    relay_status_to_client: bool = False
+
+    # Client resubmission (last-resort recovery, §2).
+    client_resubmit_enabled: bool = False
+    client_check_interval: float = 20.0
+    client_timeout: float = 60.0
+    client_max_attempts: int = 5
+
+    # Matchmaking retry when no satisfying node is found.
+    match_retries: int = 3
+    match_retry_backoff: float = 10.0
+
+    # Result return path (§2): "the result can be returned to the client
+    # as either a pointer to the result (another GUID) or as the result
+    # itself".  "pointer" stores the result in the matchmaker's DHT (with
+    # replication) and sends the client a pointer to resolve; matchmakers
+    # without an overlay (centralized) fall back to inline return.
+    result_return: str = "inline"
+
+    # Input staging: jobs stage input_size_kb before execution and output
+    # after it over a link of this bandwidth.  The paper's jobs have
+    # KB-scale I/O ("modest I/O requirements"), so the default makes this
+    # cost real but negligible — raising it is the knob for studying
+    # I/O-heavier workloads.
+    staging_bandwidth_kbps: float = 1000.0
+
+    # Run-node queue discipline (§5 future work: fairness between users).
+    # "fifo" is the paper's base design; "fair-share" picks the next job
+    # from the locally least-served client (deficit-style fair sharing).
+    queue_discipline: str = "fifo"
+
+    # Execution model.  When ``scale_runtime_by_cpu`` is set, execution
+    # time is ``work / (cpu_level / reference_cpu_level)`` so more capable
+    # nodes finish sooner (heterogeneous-speed extension; the paper's base
+    # evaluation uses nominal runtimes).
+    scale_runtime_by_cpu: bool = False
+    cpu_dim: int = 0
+    reference_cpu_level: float = 10.0
+
+    sandbox: SandboxPolicy = field(default_factory=SandboxPolicy)
+
+    def __post_init__(self) -> None:
+        if self.queue_discipline not in ("fifo", "fair-share"):
+            raise ValueError(f"bad queue_discipline {self.queue_discipline!r}")
+        if self.result_return not in ("inline", "pointer"):
+            raise ValueError(f"bad result_return {self.result_return!r}")
+        if self.staging_bandwidth_kbps <= 0:
+            raise ValueError("staging_bandwidth_kbps must be positive")
+
+
+class DesktopGrid:
+    """A simulated P2P desktop grid: nodes + network + matchmaker + metrics.
+
+    Parameters
+    ----------
+    cfg:
+        Deployment configuration.
+    matchmaker:
+        An *unbound* matchmaker instance; the grid binds it, which builds
+        the matchmaker's overlay(s) over the node population.
+    capabilities:
+        ``(name, capability_vector)`` pairs defining the node population.
+    """
+
+    def __init__(self, cfg: GridConfig, matchmaker: Matchmaker,
+                 capabilities: Sequence[tuple[str, Vector]],
+                 trace: "TraceRecorder | None" = None):
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.streams = RngStreams(cfg.seed)
+        self.rng_protocol = self.streams["protocol"]
+        self.network = Network(
+            self.sim, self.streams["network"],
+            LatencyModel(mean=cfg.mean_latency, jitter=cfg.latency_jitter),
+        )
+        self.metrics = MetricsCollector()
+        self.jobs: dict[int, Job] = {}
+        self.clients: dict[int, Client] = {}
+
+        self.nodes: dict[int, GridNode] = {}
+        self.node_list: list[GridNode] = []
+        for name, cap in capabilities:
+            cfg.spec.validate_capability(cap)
+            node = GridNode(name, cap, self)
+            if node.node_id in self.nodes:
+                raise ValueError(f"node name {name!r} collides on GUID")
+            self.nodes[node.node_id] = node
+            self.node_list.append(node)
+            self.network.register(node)
+
+        self.matchmaker = matchmaker
+        matchmaker.bind(self)
+
+    # ------------------------------------------------------------------
+    # clients and submission
+    # ------------------------------------------------------------------
+
+    def client(self, name: str) -> Client:
+        client = Client(name, self)
+        if client.node_id in self.clients:
+            raise ValueError(f"client name {name!r} already exists")
+        self.clients[client.node_id] = client
+        self.network.register(client)
+        return client
+
+    def submit_at(self, time: float, client: Client, job: Job) -> None:
+        """Schedule a job submission at virtual time ``time``."""
+        self.sim.schedule_at(time, client.submit, job)
+
+    def inject(self, job: Job, client: Client) -> None:
+        """§2 step 1: the client inserts the job at an *injection node*
+        (any node of the system), which routes it to its owner."""
+        self.jobs[job.guid] = job
+        injection = self._random_live_node()
+        delay = self.network.hop_latency()  # client -> injection node
+        self.sim.schedule(delay, self._route_to_owner, job, injection, 5)
+
+    def _route_to_owner(self, job: Job, start: GridNode | None,
+                        retries_left: int) -> None:
+        if job.is_done or job.state is not JobState.SUBMITTED:
+            return
+        if start is not None and not start.alive:
+            start = self._random_live_node()
+        owner, hops = self.matchmaker.find_owner(job, start=start)
+        if owner is None:
+            if retries_left > 0:
+                self.sim.schedule(self.cfg.match_retry_backoff,
+                                  self._route_to_owner, job, None,
+                                  retries_left - 1)
+            return
+        self.sim.schedule(self.route_delay(hops), self._deliver_to_owner,
+                          job, owner, hops, retries_left)
+
+    def _deliver_to_owner(self, job: Job, owner: GridNode, hops: int,
+                          retries_left: int) -> None:
+        if job.is_done or job.state is not JobState.SUBMITTED:
+            return
+        if not owner.alive:
+            # Owner died while the job was in flight; route again.
+            self._route_to_owner(job, None, retries_left - 1)
+            return
+        owner.owner_receive(job, hops)
+
+    # ------------------------------------------------------------------
+    # latency accounting
+    # ------------------------------------------------------------------
+
+    def route_delay(self, hops: int) -> float:
+        """Virtual-time cost of an overlay path of ``hops`` hops."""
+        return sum(self.network.hop_latency() for _ in range(hops))
+
+    def match_delay(self, result: MatchResult) -> float:
+        """Virtual-time cost of a matchmaking search: search hops in
+        series, candidate probes in parallel (one round trip), pushes in
+        series, plus the final job transfer hop."""
+        delay = self.route_delay(result.hops + result.pushes)
+        if result.probes:
+            delay += 2 * self.network.hop_latency()
+        return delay + self.network.hop_latency()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def crash_node(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.crash()
+        self.trace.record(self.sim.now, "crash", node=node.name)
+        self.matchmaker.on_crash(node)
+
+    def recover_node(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if node.alive:
+            return
+        node.recover()
+        self.trace.record(self.sim.now, "recover", node=node.name)
+        self.matchmaker.on_join(node)
+
+    def partition_node(self, node_id: int) -> None:
+        """Make a node unreachable *without* losing its state (network
+        partition / planned outage, vs :meth:`crash_node` which loses all
+        volatile state).  Used to model a centralized server whose job
+        database survives an outage (§1: "the server typically stores the
+        state of jobs in a database")."""
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node._alive = False
+        self.matchmaker.on_crash(node)
+
+    def heal_node(self, node_id: int) -> None:
+        """Reconnect a partitioned node; its pre-outage state is intact."""
+        node = self.nodes[node_id]
+        if node.alive:
+            return
+        node._alive = True
+        self.matchmaker.on_join(node)
+
+    def live_nodes(self) -> list[GridNode]:
+        return [n for n in self.node_list if n.alive]
+
+    def _random_live_node(self) -> GridNode | None:
+        live = self.live_nodes()
+        if not live:
+            return None
+        rng = self.streams["inject"]
+        return live[int(rng.integers(0, len(live)))]
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def on_queue_change(self, node: GridNode) -> None:
+        self.matchmaker.note_queue_change(node)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> int:
+        return self.sim.run(until=until)
+
+    def run_until_done(self, max_time: float = 1e7, chunk: float = 500.0) -> bool:
+        """Advance until every submitted job reached a terminal state.
+
+        Returns True on success, False if ``max_time`` elapsed first.
+        Periodic protocol tasks keep the event queue non-empty forever, so
+        progress is checked every ``chunk`` of virtual time.
+        """
+        while self.sim.now < max_time:
+            if self.jobs and all(j.is_done or j.state is JobState.LOST
+                                 for j in self.jobs.values()):
+                return True
+            if self.sim.peek_time() is None:
+                # Queue drained: nothing can change any more.
+                return all(j.is_done or j.state is JobState.LOST
+                           for j in self.jobs.values())
+            self.sim.run(until=min(self.sim.now + chunk, max_time))
+        return False
+
+    def node_execution_counts(self) -> list[int]:
+        """Jobs executed per node (load-balance / fairness metric)."""
+        return [n.jobs_executed for n in self.node_list]

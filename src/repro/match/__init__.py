@@ -1,0 +1,56 @@
+"""Matchmaking algorithms (paper §3).
+
+Matchmaking maps a freshly submitted job to (1) an *owner node* that will
+monitor it and (2) a *run node* that satisfies the job's minimum resource
+requirements, balancing load — all with no centralized information.
+
+* :mod:`repro.match.centralized` — omniscient baseline (the paper's load
+  balance target; "very expensive to implement in a decentralized P2P
+  system").
+* :mod:`repro.match.rntree` — Rendezvous Node Tree over Chord (§3.1).
+* :mod:`repro.match.can_match` — CAN resource-space matching with a
+  virtual dimension (§3.2).
+* :mod:`repro.match.can_push` — the load-aware pushing refinement the
+  paper reports as "dramatically improving" the pathological case (§3.3).
+* :mod:`repro.match.ttl_walk` — TTL-scoped random-walk discovery, the
+  related-work baseline the paper contrasts against (§4).
+"""
+
+from repro.match.base import Matchmaker, MatchResult
+from repro.match.centralized import CentralizedMatchmaker
+from repro.match.rntree import RendezvousTreeMatchmaker
+from repro.match.can_match import CANMatchmaker
+from repro.match.can_push import PushingCANMatchmaker
+from repro.match.ttl_walk import TTLWalkMatchmaker
+
+MATCHMAKERS = {
+    "centralized": CentralizedMatchmaker,
+    "rn-tree": RendezvousTreeMatchmaker,
+    "can": CANMatchmaker,
+    "can-push": PushingCANMatchmaker,
+    "ttl-walk": TTLWalkMatchmaker,
+}
+
+
+def make_matchmaker(name: str, **kwargs) -> Matchmaker:
+    """Instantiate a matchmaker by its registry name."""
+    try:
+        cls = MATCHMAKERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown matchmaker {name!r}; choose from {sorted(MATCHMAKERS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Matchmaker",
+    "MatchResult",
+    "CentralizedMatchmaker",
+    "RendezvousTreeMatchmaker",
+    "CANMatchmaker",
+    "PushingCANMatchmaker",
+    "TTLWalkMatchmaker",
+    "MATCHMAKERS",
+    "make_matchmaker",
+]

@@ -1,0 +1,96 @@
+"""The matchmaker interface shared by all five algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.job import Job
+    from repro.grid.node import GridNode
+    from repro.grid.system import DesktopGrid
+
+
+@dataclass
+class MatchResult:
+    """Outcome of a run-node search.
+
+    ``hops`` counts overlay/tree messages spent searching, ``probes``
+    counts direct load queries to candidates, ``pushes`` counts load-aware
+    job forwarding steps (pushing CAN only).  Together they are the paper's
+    "matchmaking cost".
+    """
+
+    node: "GridNode | None"
+    hops: int = 0
+    probes: int = 0
+    pushes: int = 0
+
+    def __bool__(self) -> bool:
+        return self.node is not None
+
+
+class Matchmaker(abc.ABC):
+    """A pluggable matchmaking mechanism.
+
+    Lifecycle: construct with algorithm parameters, then :meth:`bind` to a
+    grid (which builds any overlay from the grid's node population), then
+    serve :meth:`find_owner` / :meth:`find_run_node` queries and track
+    membership churn via :meth:`on_crash` / :meth:`on_join`.
+    """
+
+    #: Registry name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.grid: "DesktopGrid | None" = None
+
+    @abc.abstractmethod
+    def bind(self, grid: "DesktopGrid") -> None:
+        """Attach to ``grid`` and build internal structures over its nodes."""
+
+    @abc.abstractmethod
+    def find_owner(self, job: "Job", start: "GridNode | None" = None
+                   ) -> tuple["GridNode | None", int]:
+        """Map ``job`` to its owner node; returns (owner, overlay hops).
+
+        ``start`` is the node initiating the routing (the injection node on
+        first submission, the run node during owner-failure recovery).
+        """
+
+    @abc.abstractmethod
+    def find_run_node(self, owner: "GridNode", job: "Job") -> MatchResult:
+        """Find a run node satisfying ``job``'s requirements from ``owner``."""
+
+    # -- membership churn (default: no structure to maintain) ---------------
+
+    def on_crash(self, node: "GridNode") -> None:
+        """Called after a grid node crashes."""
+
+    def on_join(self, node: "GridNode") -> None:
+        """Called after a grid node (re)joins."""
+
+    def note_queue_change(self, node: "GridNode") -> None:
+        """Called whenever a node's queue length changes (load tracking)."""
+
+    # -- DHT result storage (§2: results may be returned "as a pointer to
+    # -- the result (another GUID)"; matchmakers with an overlay implement
+    # -- these over its replicated key-value service) ------------------------
+
+    def store_result(self, job: "Job", payload) -> tuple[bool, int]:
+        """Store a job's result in the overlay; returns (stored, hops).
+
+        Default: no overlay storage — the grid falls back to returning the
+        result inline.
+        """
+        return False, 0
+
+    def fetch_result(self, job: "Job") -> tuple[object | None, int]:
+        """Fetch a result previously stored; returns (value | None, hops)."""
+        return None, 0
+
+    def _require_grid(self) -> "DesktopGrid":
+        if self.grid is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a grid")
+        return self.grid

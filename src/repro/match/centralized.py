@@ -1,0 +1,105 @@
+"""Omniscient centralized matchmaker — the paper's load-balance target.
+
+"To see how well the workload could be balanced, we also show results for
+a centralized scheme that uses knowledge of the status of all nodes and
+jobs.  Such a scheme would be very expensive to implement in a
+decentralized P2P system, but serves as a target for achieving the best
+possible load balance from an online matchmaking algorithm." (§3.3)
+
+It assigns each job to the least-loaded live node satisfying the job's
+constraints, with uniform random tie-breaking, at zero overlay cost.  The
+whole decision is one vectorised numpy pass over the capability matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.resources import CapabilityMatrix
+from repro.match.base import Matchmaker, MatchResult
+
+
+class CentralizedMatchmaker(Matchmaker):
+    """Omniscient matchmaking.
+
+    Two modes:
+
+    * ``server_mode=False`` (default, the Figure 2 target): an idealized
+      oracle with no single point of failure — the injection node stands
+      in as owner-of-record at zero cost.  Use for load-balance studies.
+    * ``server_mode=True`` (the churn-experiment comparator): one
+      designated node is *the* server — it owns every job (its database
+      survives outages via :meth:`DesktopGrid.partition_node`), it never
+      runs jobs, and while it is unreachable no job can be matched or
+      recovered, the client-server weakness §1 describes.
+    """
+
+    name = "centralized"
+
+    def __init__(self, server_mode: bool = False) -> None:
+        super().__init__()
+        self.server_mode = server_mode
+        self._caps: CapabilityMatrix | None = None
+        self._loads: np.ndarray | None = None
+        self._alive: np.ndarray | None = None
+        self._index: dict[int, int] = {}
+        self.server = None
+
+    def bind(self, grid) -> None:
+        self.grid = grid
+        nodes = grid.node_list
+        self._caps = CapabilityMatrix.from_capabilities(
+            grid.cfg.spec, [n.capability for n in nodes])
+        self._loads = np.zeros(len(nodes), dtype=np.int64)
+        self._alive = np.ones(len(nodes), dtype=bool)
+        self._index = {n.node_id: i for i, n in enumerate(nodes)}
+        self._rng = grid.streams["match"]
+        if self.server_mode:
+            self.server = nodes[0]
+            self._alive[0] = False  # the server is never a run-node candidate
+
+    # -- owner mapping -------------------------------------------------------
+
+    def find_owner(self, job, start=None):
+        """Server mode: the server owns every job (or nothing can proceed
+        while it is down).  Oracle mode: the injection node stands in as
+        the owner-of-record at zero routing cost."""
+        grid = self._require_grid()
+        if self.server_mode:
+            if self.server is not None and self.server.alive:
+                return self.server, 1  # one round trip to the server
+            return None, 0             # server unavailable: nothing proceeds
+        if start is not None and start.alive:
+            return start, 0
+        return grid._random_live_node(), 0
+
+    # -- run-node selection ----------------------------------------------------
+
+    def find_run_node(self, owner, job) -> MatchResult:
+        grid = self._require_grid()
+        if self.server_mode and (self.server is None or not self.server.alive):
+            return MatchResult(None)
+        mask = self._caps.satisfying_mask(job.profile.requirements) & self._alive
+        if not mask.any():
+            return MatchResult(None)
+        loads = np.where(mask, self._loads, np.iinfo(np.int64).max)
+        best = loads.min()
+        winners = np.flatnonzero(loads == best)
+        idx = int(winners[self._rng.integers(0, winners.size)])
+        return MatchResult(grid.node_list[idx])
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def note_queue_change(self, node) -> None:
+        self._loads[self._index[node.node_id]] = node.queue_len
+
+    def on_crash(self, node) -> None:
+        i = self._index[node.node_id]
+        self._alive[i] = False
+        self._loads[i] = 0
+
+    def on_join(self, node) -> None:
+        if self.server_mode and self.server is not None \
+                and node.node_id == self.server.node_id:
+            return  # the server stays out of the candidate pool
+        self._alive[self._index[node.node_id]] = True

@@ -1,0 +1,233 @@
+"""The Rendezvous Node Tree matchmaker (paper §3.1).
+
+An aggregation tree embedded in a Chord ring:
+
+* **Parent rule** — a node's parent is the Chord successor of its GUID
+  with the lowest set bit cleared (re-clearing while the lookup returns
+  the node itself).  Each node computes its parent from purely local
+  information plus one DHT lookup, the construction is fully
+  decentralized, and with uniformly distributed GUIDs the expected height
+  is O(log N); the root is ``successor(0)``.  (Parent ids strictly
+  decrease toward 0, so the structure is always a tree.)
+* **Hierarchical aggregation** — every node reports its subtree's
+  per-resource *maximum available capability* to its parent, so any node
+  knows, per child subtree, the best capability reachable below it.
+* **Matchmaking** — the job is first mapped to a random owner (uniform
+  GUID hash), which performs a *limited random walk* to decorrelate hot
+  spots; the search then proceeds through the walk endpoint's subtree,
+  climbing to ancestors only when the subtree has no satisfactory
+  candidate, pruned by the aggregated maxima, and continues until at
+  least ``k`` capable nodes are found (*extended search*).  The
+  least-loaded of the ``k`` candidates (by direct probe) runs the job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dht.chord import ChordOverlay
+from repro.grid.resources import satisfies
+from repro.match.base import Matchmaker, MatchResult
+from repro.match.storage import ChordResultStorage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.node import GridNode
+
+
+class _TreeNode:
+    """Per-node RN-Tree state (parent, children, aggregated maxima)."""
+
+    __slots__ = ("node_id", "parent_id", "children", "subtree_max")
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.parent_id: int | None = None
+        self.children: list[int] = []
+        self.subtree_max: tuple[float, ...] = ()
+
+
+class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
+    name = "rn-tree"
+
+    def __init__(self, k: int = 4, random_walk_len: int = 3):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if random_walk_len < 0:
+            raise ValueError("random_walk_len must be >= 0")
+        self.k = k
+        self.random_walk_len = random_walk_len
+        self.chord: ChordOverlay | None = None
+        self.tree: dict[int, _TreeNode] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def bind(self, grid) -> None:
+        self.grid = grid
+        self._rng = grid.streams["match"]
+        self.chord = ChordOverlay(grid.streams["chord"])
+        self.chord.build([n.node_id for n in grid.node_list])
+        self._rebuild_tree()
+
+    def _rebuild_tree(self) -> None:
+        self.tree = {}
+        for node in self.chord.live_nodes():
+            self.tree[node.node_id] = _TreeNode(node.node_id)
+        for tnode in self.tree.values():
+            tnode.parent_id = self._parent_of(tnode.node_id)
+        for tnode in self.tree.values():
+            if tnode.parent_id is not None:
+                self.tree[tnode.parent_id].children.append(tnode.node_id)
+        self._recompute_aggregates()
+
+    def _parent_of(self, node_id: int) -> int | None:
+        """Clear the lowest set bit until the successor differs from us."""
+        x = node_id
+        while x:
+            x &= x - 1  # clear lowest set bit
+            succ = self.chord.successor_of(x)
+            if succ is not None and succ.node_id != node_id:
+                return succ.node_id
+            if x == 0:
+                break
+        return None  # we are successor(0): the root
+
+    def _recompute_aggregates(self) -> None:
+        """Bottom-up max aggregation.  Parent ids are strictly smaller than
+        child ids, so descending-id order is a valid topological order."""
+        grid = self._require_grid()
+        for nid in sorted(self.tree, reverse=True):
+            tnode = self.tree[nid]
+            best = list(grid.nodes[nid].capability)
+            for child_id in tnode.children:
+                for d, v in enumerate(self.tree[child_id].subtree_max):
+                    if v > best[d]:
+                        best[d] = v
+            tnode.subtree_max = tuple(best)
+            if tnode.parent_id is not None and tnode.parent_id not in self.tree:
+                raise AssertionError("dangling parent pointer")
+
+    # ------------------------------------------------------------------
+    # owner mapping (uniform GUID hash over the Chord ring)
+    # ------------------------------------------------------------------
+
+    def find_owner(self, job, start=None):
+        grid = self._require_grid()
+        chord_start = None
+        if start is not None:
+            chord_start = self.chord.nodes.get(start.node_id)
+        result = self.chord.route(job.guid, start=chord_start)
+        if not result.success:
+            return None, result.hops
+        return grid.nodes[result.owner.node_id], result.hops
+
+    # ------------------------------------------------------------------
+    # run-node search
+    # ------------------------------------------------------------------
+
+    def find_run_node(self, owner: "GridNode", job) -> MatchResult:
+        grid = self._require_grid()
+        req = job.profile.requirements
+        hops = 0
+
+        # Limited random walk from the owner for dynamic load spreading.
+        cur_id = owner.node_id
+        for _ in range(self.random_walk_len):
+            nxt = self._random_neighbor(cur_id)
+            if nxt is None:
+                break
+            cur_id = nxt
+            hops += 1
+
+        candidates, search_hops = self._extended_search(cur_id, req, self.k)
+        hops += search_hops
+        if not candidates:
+            return MatchResult(None, hops=hops)
+        # Probe every candidate's queue; least-loaded wins, ties random.
+        loads = [(grid.nodes[c].queue_len, c) for c in candidates]
+        best = min(load for load, _ in loads)
+        winners = [c for load, c in loads if load == best]
+        choice = winners[int(self._rng.integers(0, len(winners)))]
+        return MatchResult(grid.nodes[choice], hops=hops, probes=len(candidates))
+
+    def _random_neighbor(self, node_id: int) -> int | None:
+        """A uniformly random live finger of ``node_id`` (walk step)."""
+        node = self.chord.nodes.get(node_id)
+        if node is None or not node.alive:
+            return None
+        choices = sorted({f.node_id for f in node.fingers
+                          if f is not None and f.alive and f.node_id != node_id})
+        if not choices:
+            return None
+        return choices[int(self._rng.integers(0, len(choices)))]
+
+    def _extended_search(self, start_id: int, req, k: int) -> tuple[list[int], int]:
+        """Search the start's subtree, then ancestors' other subtrees, for
+        up to ``k`` nodes satisfying ``req``.  Each tree-edge traversal
+        costs one hop; pruning uses the aggregated subtree maxima."""
+        grid = self._require_grid()
+        if start_id not in self.tree:
+            return [], 0
+        candidates: list[int] = []
+        hops = 0
+
+        def dfs(root_id: int, charge_entry: bool) -> None:
+            nonlocal hops
+            stack = [(root_id, charge_entry)]
+            while stack and len(candidates) < k:
+                nid, charge = stack.pop()
+                if charge:
+                    hops += 1
+                tnode = self.tree[nid]
+                gnode = grid.nodes[nid]
+                if gnode.alive and satisfies(gnode.capability, req):
+                    candidates.append(nid)
+                for child_id in tnode.children:
+                    if len(candidates) >= k and candidates:
+                        break
+                    if satisfies(self.tree[child_id].subtree_max, req):
+                        stack.append((child_id, True))
+
+        # Phase 1: the subtree rooted at the search start (we are already
+        # there, so visiting the root itself is free).
+        dfs(start_id, charge_entry=False)
+
+        # Phase 2: climb to ancestors, searching their *other* subtrees.
+        came_from = start_id
+        cur = self.tree[start_id].parent_id
+        while cur is not None and len(candidates) < k:
+            hops += 1  # move up one tree edge
+            tnode = self.tree[cur]
+            gnode = grid.nodes[cur]
+            if gnode.alive and satisfies(gnode.capability, req) \
+                    and cur not in candidates:
+                candidates.append(cur)
+            for child_id in tnode.children:
+                if len(candidates) >= k:
+                    break
+                if child_id == came_from:
+                    continue
+                if satisfies(self.tree[child_id].subtree_max, req):
+                    dfs(child_id, charge_entry=True)
+            came_from = cur
+            cur = tnode.parent_id
+        return candidates, hops
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+
+    def on_crash(self, node) -> None:
+        self.chord.crash(node.node_id)
+        self.chord.repair()
+        self._rebuild_tree()
+
+    def on_join(self, node) -> None:
+        if node.node_id in self.chord.nodes:
+            self.chord.recover(node.node_id)
+        else:  # pragma: no cover - populations are fixed in current drivers
+            from repro.dht.chord.node import ChordNode
+            self.chord.oracle_join(ChordNode(node.node_id))
+        self._rebuild_tree()

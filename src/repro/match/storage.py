@@ -1,0 +1,53 @@
+"""Result storage mixins: DHT-backed result pointers (§2).
+
+"After successful completion of the job, the result can be returned to
+the client as either a pointer to the result (another GUID) or as the
+result itself."  Matchmakers that own an overlay store results under a
+result GUID with replication; the client later resolves the pointer with
+one overlay lookup.
+"""
+
+from __future__ import annotations
+
+from repro.util.ids import guid_for
+
+
+def result_key(job) -> int:
+    """The result's GUID — distinct from the job's own GUID."""
+    return guid_for(f"{job.name}/result")
+
+
+class ChordResultStorage:
+    """Mixin for matchmakers holding a ``self.chord`` overlay."""
+
+    result_replicas = 3
+
+    def store_result(self, job, payload) -> tuple[bool, int]:
+        result = self.chord.put(result_key(job), payload,
+                                replicas=self.result_replicas)
+        return result.success, result.hops
+
+    def fetch_result(self, job) -> tuple[object | None, int]:
+        result, value = self.chord.get(result_key(job),
+                                       replicas=self.result_replicas)
+        return value, result.hops
+
+
+class CANResultStorage:
+    """Mixin for matchmakers holding a ``self.can`` overlay.
+
+    CAN keys are points; the result lives in the zone of the job's own
+    point (its owner region), replicated to the zone's neighbors.
+    """
+
+    result_replicas = 3
+
+    def store_result(self, job, payload) -> tuple[bool, int]:
+        point = self._job_point(job)
+        result = self.can.put(point, payload, replicas=self.result_replicas)
+        return result.success, result.hops
+
+    def fetch_result(self, job) -> tuple[object | None, int]:
+        point = self._job_point(job)
+        result, value = self.can.get(point, replicas=self.result_replicas)
+        return value, result.hops

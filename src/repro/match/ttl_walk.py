@@ -1,0 +1,104 @@
+"""TTL-scoped random-walk resource discovery — related-work baseline (§4).
+
+"TTL-based mechanisms are relatively simple but effective ways to find a
+resource ... without incurring too much overhead in the search.  However,
+such mechanisms may fail to find a resource capable of running a given
+job, even though such a resource exists somewhere in the network."
+
+The walk runs over the Chord overlay's finger graph (any connected overlay
+graph works; using the same substrate keeps the comparison fair).  The
+first visited node that satisfies the constraints with a queue no longer
+than ``accept_queue`` is taken; when the TTL expires, the best satisfying
+node seen (least loaded) is used; if *no* visited node satisfies the
+constraints the match fails — the failure mode the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from repro.dht.chord import ChordOverlay
+from repro.grid.resources import satisfies
+from repro.match.base import Matchmaker, MatchResult
+from repro.match.storage import ChordResultStorage
+
+
+class TTLWalkMatchmaker(ChordResultStorage, Matchmaker):
+    name = "ttl-walk"
+
+    def __init__(self, ttl: int | None = None, accept_queue: int = 1):
+        """``ttl=None`` auto-sizes to ``2 * log2(N)`` at bind time."""
+        super().__init__()
+        self._requested_ttl = ttl
+        self.accept_queue = accept_queue
+        self.ttl = ttl or 0
+        self.chord: ChordOverlay | None = None
+
+    def bind(self, grid) -> None:
+        self.grid = grid
+        self._rng = grid.streams["match"]
+        self.chord = ChordOverlay(grid.streams["chord"])
+        self.chord.build([n.node_id for n in grid.node_list])
+        if self._requested_ttl is None:
+            self.ttl = max(4, 2 * max(1, (len(grid.node_list) - 1).bit_length()))
+        else:
+            self.ttl = self._requested_ttl
+
+    def find_owner(self, job, start=None):
+        grid = self._require_grid()
+        chord_start = self.chord.nodes.get(start.node_id) if start is not None else None
+        result = self.chord.route(job.guid, start=chord_start)
+        if not result.success:
+            return None, result.hops
+        return grid.nodes[result.owner.node_id], result.hops
+
+    def find_run_node(self, owner, job) -> MatchResult:
+        grid = self._require_grid()
+        req = job.profile.requirements
+        cur = self.chord.nodes.get(owner.node_id)
+        if cur is None or not cur.alive:
+            return MatchResult(None)
+        visited: set[int] = set()
+        best_id: int | None = None
+        best_load = float("inf")
+        hops = 0
+        for step in range(self.ttl + 1):
+            if cur.node_id not in visited:
+                visited.add(cur.node_id)
+                gnode = grid.nodes[cur.node_id]
+                if gnode.alive and satisfies(gnode.capability, req):
+                    load = gnode.queue_len
+                    if load <= self.accept_queue:
+                        return MatchResult(gnode, hops=hops)
+                    if load < best_load:
+                        best_id, best_load = cur.node_id, load
+            if step == self.ttl:
+                break
+            nxt = self._walk_step(cur, visited)
+            if nxt is None:
+                break
+            cur = nxt
+            hops += 1
+        if best_id is not None:
+            return MatchResult(grid.nodes[best_id], hops=hops)
+        return MatchResult(None, hops=hops)  # may fail despite feasible nodes
+
+    def _walk_step(self, cur, visited):
+        """Uniform random live finger, preferring unvisited ones."""
+        fingers = {f.node_id: f for f in cur.fingers
+                   if f is not None and f.alive and f.node_id != cur.node_id}
+        for s in cur.successors:
+            if s.alive and s.node_id != cur.node_id:
+                fingers.setdefault(s.node_id, s)
+        if not fingers:
+            return None
+        unvisited = sorted(nid for nid in fingers if nid not in visited)
+        pool = unvisited if unvisited else sorted(fingers)
+        return fingers[pool[int(self._rng.integers(0, len(pool)))]]
+
+    def on_crash(self, node) -> None:
+        self.chord.crash(node.node_id)
+        self.chord.repair()
+
+    def on_join(self, node) -> None:
+        if node.node_id in self.chord.nodes:
+            self.chord.recover(node.node_id)
+        self.chord.repair()

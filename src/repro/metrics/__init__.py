@@ -1,0 +1,6 @@
+"""Metrics: per-job accounting and experiment-facing summaries."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_table
+
+__all__ = ["MetricsCollector", "format_table"]

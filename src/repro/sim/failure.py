@@ -1,0 +1,116 @@
+"""Failure and churn injection.
+
+The paper's robustness story is about surviving node failures (owner/run
+recovery, no single point of failure).  These injectors drive that story in
+experiments:
+
+* :class:`FailureInjector` — crash a chosen set of nodes at chosen times
+  (deterministic fault scripts for tests and targeted experiments).
+* :class:`CrashRecoveryProcess` — ongoing churn: each node alternates
+  exponential up-times and down-times, crashing and rejoining forever.
+
+"Crashing" is delegated to a callback (the grid layer decides what a crash
+means — losing queue contents, dropping in-flight messages, leaving the
+overlay), so the injectors stay substrate-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+
+class FailureInjector:
+    """Schedules scripted crash (and optional recovery) events."""
+
+    def __init__(self, sim: Simulator,
+                 crash_fn: Callable[[int], None],
+                 recover_fn: Callable[[int], None] | None = None):
+        self.sim = sim
+        self.crash_fn = crash_fn
+        self.recover_fn = recover_fn
+        self.crashes_injected = 0
+        self.recoveries_injected = 0
+
+    def crash_at(self, time: float, node_id: int) -> None:
+        self.sim.schedule_at(time, self._crash, node_id)
+
+    def recover_at(self, time: float, node_id: int) -> None:
+        if self.recover_fn is None:
+            raise ValueError("no recover_fn configured")
+        self.sim.schedule_at(time, self._recover, node_id)
+
+    def crash_many(self, times_and_nodes: Iterable[tuple[float, int]]) -> None:
+        for time, node_id in times_and_nodes:
+            self.crash_at(time, node_id)
+
+    def _crash(self, node_id: int) -> None:
+        self.crashes_injected += 1
+        self.crash_fn(node_id)
+
+    def _recover(self, node_id: int) -> None:
+        self.recoveries_injected += 1
+        self.recover_fn(node_id)
+
+
+class CrashRecoveryProcess:
+    """Continuous churn: alternating exponential up/down periods per node.
+
+    Parameters
+    ----------
+    mean_uptime / mean_downtime:
+        Means of the exponential up/down period distributions (seconds).
+    node_ids:
+        Nodes subjected to churn.  Each gets an independent first-crash time
+        drawn from the uptime distribution.
+    """
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator,
+                 node_ids: Sequence[int],
+                 crash_fn: Callable[[int], None],
+                 recover_fn: Callable[[int], None],
+                 mean_uptime: float, mean_downtime: float,
+                 start: bool = True):
+        if mean_uptime <= 0 or mean_downtime <= 0:
+            raise ValueError("mean up/down times must be positive")
+        self.sim = sim
+        self.rng = rng
+        self.node_ids = list(node_ids)
+        self.crash_fn = crash_fn
+        self.recover_fn = recover_fn
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.crashes = 0
+        self.recoveries = 0
+        self.stopped = False
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        self.stopped = False
+        for node_id in self.node_ids:
+            self.sim.schedule(float(self.rng.exponential(self.mean_uptime)),
+                              self._crash, node_id)
+
+    def stop(self) -> None:
+        """Stop injecting *new* events (pending ones are abandoned lazily)."""
+        self.stopped = True
+
+    def _crash(self, node_id: int) -> None:
+        if self.stopped:
+            return
+        self.crashes += 1
+        self.crash_fn(node_id)
+        self.sim.schedule(float(self.rng.exponential(self.mean_downtime)),
+                          self._recover, node_id)
+
+    def _recover(self, node_id: int) -> None:
+        if self.stopped:
+            return
+        self.recoveries += 1
+        self.recover_fn(node_id)
+        self.sim.schedule(float(self.rng.exponential(self.mean_uptime)),
+                          self._crash, node_id)

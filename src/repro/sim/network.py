@@ -1,0 +1,157 @@
+"""Point-to-point message delivery over the simulated network.
+
+The grid layer's direct connections (heartbeats, owner<->run-node control
+messages, result return — §2 of the paper notes these bypass the overlay
+"for efficiency ... for example by a socket connection") are modeled here:
+a message to a live endpoint is delivered after a sampled latency; a
+message to a dead endpoint is silently dropped, exactly like a TCP RST /
+timeout in the real system.  Failure *detection* therefore happens where it
+does in the paper — in the protocol layer, via missed heartbeats — not by
+oracle.
+
+DHT routing hops are accounted separately by the overlays (see
+:mod:`repro.dht.base`); they use :meth:`Network.hop_latency` so both kinds
+of traffic share one latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything addressable on the network."""
+
+    node_id: int
+
+    @property
+    def alive(self) -> bool: ...
+
+    def handle_message(self, msg: "Message") -> None: ...
+
+
+@dataclass
+class Message:
+    """An application message.
+
+    ``kind`` is a short protocol tag (e.g. ``"heartbeat"``); ``payload`` is
+    protocol-specific.  ``src`` is the sender's node id so receivers can
+    reply without holding object references.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    payload: Any = None
+    send_time: float = 0.0
+
+
+class LatencyModel:
+    """Per-hop network latency distribution.
+
+    Defaults model a wide-area overlay: latency ~ mean 0.05 s with modest
+    lognormal jitter, floored at ``minimum``.  A ``jitter`` of 0 makes the
+    model deterministic (useful in unit tests).
+    """
+
+    def __init__(self, mean: float = 0.05, jitter: float = 0.3, minimum: float = 0.002):
+        if mean <= 0:
+            raise ValueError("mean latency must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.mean = mean
+        self.jitter = jitter
+        self.minimum = minimum
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.jitter == 0.0:
+            return max(self.mean, self.minimum)
+        # Lognormal with the requested mean: E[lognormal(mu, s)] = exp(mu + s^2/2)
+        s = self.jitter
+        mu = np.log(self.mean) - 0.5 * s * s
+        return max(float(rng.lognormal(mu, s)), self.minimum)
+
+
+@dataclass
+class NetworkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_dead_dst: int = 0
+    dropped_dead_src: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+
+class Network:
+    """Delivers messages between registered endpoints with latency.
+
+    Endpoints register by node id.  Liveness is re-checked at delivery time:
+    a message in flight to a node that dies before arrival is dropped, and a
+    message from a node that died after sending is still delivered (it was
+    already on the wire) — matching real datagram semantics.
+    """
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator,
+                 latency: LatencyModel | None = None):
+        self.sim = sim
+        self.rng = rng
+        self.latency = latency or LatencyModel()
+        self._endpoints: dict[int, Endpoint] = {}
+        self.stats = NetworkStats()
+
+    # -- membership ------------------------------------------------------
+
+    def register(self, endpoint: Endpoint) -> None:
+        if endpoint.node_id in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.node_id} already registered")
+        self._endpoints[endpoint.node_id] = endpoint
+
+    def unregister(self, node_id: int) -> None:
+        self._endpoints.pop(node_id, None)
+
+    def endpoint(self, node_id: int) -> Endpoint | None:
+        return self._endpoints.get(node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        ep = self._endpoints.get(node_id)
+        return ep is not None and ep.alive
+
+    # -- messaging -------------------------------------------------------
+
+    def hop_latency(self) -> float:
+        """Sample one hop's latency (shared with DHT routing accounting)."""
+        return self.latency.sample(self.rng)
+
+    def send(self, kind: str, src: int, dst: int, payload: Any = None,
+             on_delivered: Callable[[Message], None] | None = None) -> Message | None:
+        """Send a message; returns it, or None if the sender is already dead.
+
+        Delivery (or drop) happens after one sampled latency.  There is no
+        delivery acknowledgement at this layer; protocols that need one send
+        an explicit reply.
+        """
+        src_ep = self._endpoints.get(src)
+        if src_ep is not None and not src_ep.alive:
+            self.stats.dropped_dead_src += 1
+            return None
+        msg = Message(kind=kind, src=src, dst=dst, payload=payload,
+                      send_time=self.sim.now)
+        self.stats.sent += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        self.sim.schedule(self.hop_latency(), self._deliver, msg, on_delivered)
+        return msg
+
+    def _deliver(self, msg: Message,
+                 on_delivered: Callable[[Message], None] | None) -> None:
+        dst_ep = self._endpoints.get(msg.dst)
+        if dst_ep is None or not dst_ep.alive:
+            self.stats.dropped_dead_dst += 1
+            return
+        self.stats.delivered += 1
+        dst_ep.handle_message(msg)
+        if on_delivered is not None:
+            on_delivered(msg)

@@ -1,0 +1,81 @@
+"""Periodic tasks on top of the one-shot event kernel.
+
+Heartbeats, DHT stabilization, aggregation refresh, and neighbor load
+exchange are all periodic soft-state protocols; :class:`PeriodicTask` gives
+them a common cancellable implementation with optional phase jitter (so a
+thousand nodes' timers don't fire in lockstep, which would both be
+unrealistic and create pathological event bursts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class PeriodicTask:
+    """Runs ``fn()`` every ``interval`` seconds until stopped.
+
+    Parameters
+    ----------
+    jitter:
+        Fraction of ``interval`` used for uniform phase jitter on every
+        firing (0 disables).  The *first* firing is additionally offset by a
+        uniform random phase in ``[0, interval)`` when ``stagger`` is true.
+    """
+
+    def __init__(self, sim: Simulator, interval: float, fn: Callable[[], None],
+                 *, rng: np.random.Generator | None = None,
+                 jitter: float = 0.0, stagger: bool = True,
+                 start: bool = True):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if jitter < 0 or jitter >= 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if (jitter > 0 or stagger) and rng is None:
+            raise ValueError("rng required when jitter or stagger enabled")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.rng = rng
+        self.jitter = jitter
+        self.stagger = stagger
+        self._handle: EventHandle | None = None
+        self.firings = 0
+        self.stopped = False
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        if self._handle is not None:
+            return
+        self.stopped = False
+        first = self.interval
+        if self.stagger and self.rng is not None:
+            first = float(self.rng.uniform(0, self.interval))
+        self._handle = self.sim.schedule(first, self._fire)
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_delay(self) -> float:
+        if self.jitter and self.rng is not None:
+            lo = self.interval * (1 - self.jitter)
+            hi = self.interval * (1 + self.jitter)
+            return float(self.rng.uniform(lo, hi))
+        return self.interval
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self._handle = None
+        self.firings += 1
+        self.fn()
+        if not self.stopped:  # fn may have called stop()
+            self._handle = self.sim.schedule(self._next_delay(), self._fire)

@@ -1,0 +1,117 @@
+"""Request/response RPC over the simulated network.
+
+The structural DHT model (see :mod:`repro.dht.base`) is the right tool
+for the load-balance experiments, but the paper's simulator also studies
+"creating and maintaining the network and performing lookups" at the
+message level (§3.3).  This layer provides the plumbing for that mode:
+asynchronous calls with reply correlation and timeouts, so protocol
+implementations (message-level Chord in :mod:`repro.dht.chord.protocol`)
+experience real partial failure — a request to a dead peer is silently
+dropped and surfaces only as a timeout at the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.network import Message, Network
+
+
+@dataclass
+class RpcStats:
+    calls: int = 0
+    replies: int = 0
+    timeouts: int = 0
+    by_method: dict[str, int] = field(default_factory=dict)
+
+
+class RpcLayer:
+    """Correlates requests and replies between registered servers.
+
+    Servers register a handler per node id; the handler receives
+    ``(method, payload, respond)`` and must call ``respond(result)``
+    (immediately or later) to answer.  Callers provide ``on_reply`` and
+    ``on_timeout`` callbacks — no blocking, everything is event-driven.
+    """
+
+    def __init__(self, sim: Simulator, network: Network,
+                 default_timeout: float = 1.0):
+        if default_timeout <= 0:
+            raise ValueError("default_timeout must be positive")
+        self.sim = sim
+        self.network = network
+        self.default_timeout = default_timeout
+        self._next_id = 0
+        self._pending: dict[int, tuple[Callable, EventHandle]] = {}
+        self._handlers: dict[int, Callable] = {}
+        self.stats = RpcStats()
+
+    # -- server side -----------------------------------------------------
+
+    def serve(self, node_id: int, handler: Callable[[str, Any, Callable], None]) -> None:
+        """Register ``handler(method, payload, respond)`` for ``node_id``."""
+        self._handlers[node_id] = handler
+
+    def unserve(self, node_id: int) -> None:
+        self._handlers.pop(node_id, None)
+
+    # -- client side -----------------------------------------------------
+
+    def call(self, src: int, dst: int, method: str, payload: Any,
+             on_reply: Callable[[Any], None],
+             on_timeout: Callable[[], None],
+             timeout: float | None = None) -> None:
+        """Issue an asynchronous request.
+
+        Exactly one of ``on_reply`` / ``on_timeout`` will eventually fire:
+        the reply cancels the timeout, and a reply arriving after the
+        timeout already fired is discarded (late replies are a real
+        phenomenon the caller must not see twice).
+        """
+        req_id = self._next_id
+        self._next_id += 1
+        self.stats.calls += 1
+        self.stats.by_method[method] = self.stats.by_method.get(method, 0) + 1
+
+        def fire_timeout() -> None:
+            if req_id in self._pending:
+                del self._pending[req_id]
+                self.stats.timeouts += 1
+                on_timeout()
+
+        handle = self.sim.schedule(timeout or self.default_timeout, fire_timeout)
+        self._pending[req_id] = (on_reply, handle)
+        self.network.send("rpc-req", src, dst, (req_id, method, payload))
+
+    # -- message plumbing (called by endpoint adapters) ---------------------
+
+    def handle_message(self, owner_id: int, msg: Message) -> bool:
+        """Dispatch an rpc message addressed to ``owner_id``.
+
+        Returns True if the message was an RPC message (handled), False
+        otherwise so the endpoint can dispatch it elsewhere.
+        """
+        if msg.kind == "rpc-req":
+            req_id, method, payload = msg.payload
+            handler = self._handlers.get(owner_id)
+            if handler is None:
+                return True  # no server (e.g. crashed): drop => caller times out
+            src = msg.src
+
+            def respond(result: Any) -> None:
+                self.network.send("rpc-rep", owner_id, src, (req_id, result))
+
+            handler(method, payload, respond)
+            return True
+        if msg.kind == "rpc-rep":
+            req_id, result = msg.payload
+            pending = self._pending.pop(req_id, None)
+            if pending is not None:
+                on_reply, timeout_handle = pending
+                timeout_handle.cancel()
+                self.stats.replies += 1
+                on_reply(result)
+            return True
+        return False

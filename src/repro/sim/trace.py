@@ -1,0 +1,49 @@
+"""Structured event tracing.
+
+A :class:`TraceRecorder` collects ``(time, category, detail)`` records from
+any component that is handed one.  Tracing defaults to off (a no-op
+recorder) because at paper scale (thousands of jobs, millions of events)
+recording everything would dominate runtime; experiments switch on exactly
+the categories they analyse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    detail: dict[str, Any]
+
+
+class TraceRecorder:
+    """Collects trace records, optionally filtered by category."""
+
+    def __init__(self, categories: Iterable[str] | None = None, enabled: bool = True):
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.records: list[TraceRecord] = []
+
+    def record(self, time: float, category: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, detail))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: Shared do-nothing recorder for components constructed without tracing.
+NULL_TRACE = TraceRecorder(enabled=False)

@@ -1,0 +1,26 @@
+"""Shared utilities: identifier hashing, RNG stream management, statistics."""
+
+from repro.util.ids import (
+    GUID_BITS,
+    GUID_SPACE,
+    guid_for,
+    random_guid,
+    ring_add,
+    ring_between,
+    ring_distance,
+)
+from repro.util.rng import RngStreams
+from repro.util.stats import RunningStats, summarize
+
+__all__ = [
+    "GUID_BITS",
+    "GUID_SPACE",
+    "guid_for",
+    "random_guid",
+    "ring_add",
+    "ring_between",
+    "ring_distance",
+    "RngStreams",
+    "RunningStats",
+    "summarize",
+]

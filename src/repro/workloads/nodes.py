@@ -1,0 +1,34 @@
+"""Node-population generation: clustered vs mixed capabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.resources import Vector
+from repro.workloads.spec import WorkloadConfig
+
+
+def generate_nodes(cfg: WorkloadConfig, rng: np.random.Generator
+                   ) -> list[tuple[str, Vector]]:
+    """Generate ``(name, capability)`` pairs for the node population.
+
+    * ``mixed`` — every node's level on every axis is drawn independently,
+      uniform over the integer levels ``1..max_level``.
+    * ``clustered`` — ``node_classes`` capability vectors are drawn the
+      same way once, and nodes are spread evenly across the classes, so
+      all nodes of a class are identical (the paper's equivalence-class
+      populations that stress CAN zone splitting).
+    """
+    max_level = int(cfg.spec.max_level)
+    dims = cfg.spec.dims
+    caps: list[Vector] = []
+    if cfg.node_mode == "mixed":
+        levels = rng.integers(1, max_level + 1, size=(cfg.n_nodes, dims))
+        caps = [tuple(float(v) for v in row) for row in levels]
+    else:
+        n_classes = min(cfg.node_classes, cfg.n_nodes)
+        class_caps = rng.integers(1, max_level + 1, size=(n_classes, dims))
+        for i in range(cfg.n_nodes):
+            row = class_caps[i % n_classes]
+            caps.append(tuple(float(v) for v in row))
+    return [(f"node-{i:05d}", cap) for i, cap in enumerate(caps)]

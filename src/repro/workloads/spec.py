@@ -1,0 +1,81 @@
+"""Workload configuration and the paper's Figure 2 scenario grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.grid.resources import ResourceSpec
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one synthetic workload.
+
+    Paper-scale defaults: "All of the test workloads consist of 1000 nodes
+    and 5000 jobs, each of which has an average running time of about 100
+    seconds.  The job arrival times are based on a Poisson distribution
+    with an average inter-arrival rate of 0.1 seconds."  Lightly
+    constrained jobs average 1.2 of the 3 resource constraints
+    (``constraint_prob = 0.4``); heavily constrained average 2.4
+    (``constraint_prob = 0.8``).
+    """
+
+    n_nodes: int = 1000
+    n_jobs: int = 5000
+    node_mode: str = "clustered"          # "clustered" | "mixed"
+    job_mode: str = "clustered"           # "clustered" | "mixed"
+    constraint_prob: float = 0.4          # per-dimension constraint probability
+    node_classes: int = 10
+    job_classes: int = 10
+    mean_work: float = 100.0              # seconds (exponential)
+    min_work: float = 1.0
+    mean_interarrival: float = 0.1        # seconds (Poisson arrivals)
+    n_clients: int = 4
+    client_rate_weights: tuple[float, ...] = (4.0, 2.0, 1.0, 1.0)
+    spec: ResourceSpec = field(default_factory=ResourceSpec)
+
+    def __post_init__(self) -> None:
+        if self.node_mode not in ("clustered", "mixed"):
+            raise ValueError(f"bad node_mode {self.node_mode!r}")
+        if self.job_mode not in ("clustered", "mixed"):
+            raise ValueError(f"bad job_mode {self.job_mode!r}")
+        if not 0.0 <= self.constraint_prob <= 1.0:
+            raise ValueError("constraint_prob must be in [0, 1]")
+        if self.n_nodes < 1 or self.n_jobs < 0:
+            raise ValueError("population sizes must be positive")
+        if len(self.client_rate_weights) != self.n_clients:
+            raise ValueError("client_rate_weights length must equal n_clients")
+        if self.mean_work <= 0 or self.mean_interarrival <= 0:
+            raise ValueError("work and inter-arrival means must be positive")
+
+    def scaled(self, factor: float) -> "WorkloadConfig":
+        """Proportionally smaller instance with the *same offered load*.
+
+        Scaling nodes and jobs by ``factor`` while dividing the arrival
+        rate by the same factor keeps per-node utilization constant, so
+        wait-time behaviour is comparable across scales (benches default
+        to factor 1/4 of paper scale; see DESIGN.md §6).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            n_nodes=max(2, round(self.n_nodes * factor)),
+            n_jobs=max(1, round(self.n_jobs * factor)),
+            mean_interarrival=self.mean_interarrival / factor,
+        )
+
+
+#: The four Figure 2 panels' workload families.  Each maps a scenario name
+#: to (node_mode/job_mode, constraint level) pairs; the experiment driver
+#: crosses them with the matchmakers.
+FIGURE2_SCENARIOS: dict[str, WorkloadConfig] = {
+    "clustered-light": WorkloadConfig(node_mode="clustered", job_mode="clustered",
+                                      constraint_prob=0.4),
+    "clustered-heavy": WorkloadConfig(node_mode="clustered", job_mode="clustered",
+                                      constraint_prob=0.8),
+    "mixed-light": WorkloadConfig(node_mode="mixed", job_mode="mixed",
+                                  constraint_prob=0.4),
+    "mixed-heavy": WorkloadConfig(node_mode="mixed", job_mode="mixed",
+                                  constraint_prob=0.8),
+}

@@ -1,0 +1,106 @@
+"""Workload trace files: save and replay job streams.
+
+The paper's §5 plan is to "characterize its behavior on real workloads,
+via consultation with our application-area collaborators in astronomy and
+physics" — i.e. replaying recorded submission traces.  This module gives
+the grid a trace format for exactly that: a JSON-lines file, one job per
+line, that can round-trip generated workloads or carry externally
+recorded ones.
+
+Format (one JSON object per line):
+
+.. code-block:: json
+
+   {"name": "job-000001", "submit_time": 0.42, "client_index": 0,
+    "requirements": [6.0, 0.0, 2.0], "work": 118.3}
+
+Optional per-job fields: ``input_size_kb``, ``output_size_kb``.
+A leading comment line starting with ``#`` is ignored (header space).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.workloads.jobs import ScheduledJob
+
+#: Required keys for every trace record.
+_REQUIRED = ("name", "submit_time", "client_index", "requirements", "work")
+
+
+class TraceFormatError(ValueError):
+    """A trace file violated the format contract."""
+
+    def __init__(self, line_no: int, detail: str):
+        super().__init__(f"trace line {line_no}: {detail}")
+        self.line_no = line_no
+        self.detail = detail
+
+
+def save_trace(path: str | Path, jobs: Iterable[ScheduledJob],
+               comment: str | None = None) -> int:
+    """Write a job stream to ``path``; returns the number of jobs written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        if comment:
+            fh.write(f"# {comment}\n")
+        for job in jobs:
+            record = {
+                "name": job.name,
+                "submit_time": job.submit_time,
+                "client_index": job.client_index,
+                "requirements": list(job.requirements),
+                "work": job.work,
+            }
+            fh.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[ScheduledJob]:
+    """Load a job stream; validates every record and submission ordering."""
+    path = Path(path)
+    jobs: list[ScheduledJob] = []
+    names: set[str] = set()
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(line_no, f"invalid JSON: {exc}") from None
+            for key in _REQUIRED:
+                if key not in record:
+                    raise TraceFormatError(line_no, f"missing field {key!r}")
+            name = record["name"]
+            if not isinstance(name, str) or not name:
+                raise TraceFormatError(line_no, "name must be a non-empty string")
+            if name in names:
+                raise TraceFormatError(line_no, f"duplicate job name {name!r}")
+            names.add(name)
+            work = float(record["work"])
+            if work <= 0:
+                raise TraceFormatError(line_no, f"work must be positive, got {work}")
+            submit = float(record["submit_time"])
+            if submit < 0:
+                raise TraceFormatError(line_no, "submit_time must be >= 0")
+            client = int(record["client_index"])
+            if client < 0:
+                raise TraceFormatError(line_no, "client_index must be >= 0")
+            req = tuple(float(r) for r in record["requirements"])
+            if any(r < 0 for r in req):
+                raise TraceFormatError(line_no, "requirements must be >= 0")
+            jobs.append(ScheduledJob(
+                submit_time=submit,
+                client_index=client,
+                requirements=req,
+                work=work,
+                name=name,
+            ))
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.system import DesktopGrid, GridConfig
+from repro.match import make_matchmaker
+from repro.sim.kernel import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.workloads.nodes import generate_nodes
+from repro.workloads.spec import WorkloadConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim, rng) -> Network:
+    # Deterministic latency keeps protocol-timing tests exact.
+    return Network(sim, rng, LatencyModel(mean=0.01, jitter=0.0))
+
+
+def make_small_grid(matchmaker_name: str = "centralized", n_nodes: int = 16,
+                    seed: int = 7, node_mode: str = "mixed",
+                    cfg: GridConfig | None = None, **mm_kwargs) -> DesktopGrid:
+    """A small ready-to-use grid for protocol tests."""
+    workload = WorkloadConfig(n_nodes=n_nodes, node_mode=node_mode)
+    nodes = generate_nodes(workload, np.random.default_rng(seed))
+    grid_cfg = cfg if cfg is not None else GridConfig(seed=seed)
+    return DesktopGrid(grid_cfg, make_matchmaker(matchmaker_name, **mm_kwargs),
+                       nodes)
+
+
+@pytest.fixture
+def small_grid() -> DesktopGrid:
+    return make_small_grid()

@@ -1,0 +1,154 @@
+"""CAN geometry: zones, splits, abutment, distances (with hypothesis)."""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.dht.can.space import (
+    Zone,
+    as_point,
+    point_distance_sq,
+    unit_zone,
+    zone_distance,
+)
+
+unit_coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def points(dims):
+    return st.tuples(*([unit_coord] * dims))
+
+
+class TestZoneBasics:
+    def test_unit_zone(self):
+        z = unit_zone(3)
+        assert z.volume() == pytest.approx(1.0)
+        assert z.contains((0.0, 0.5, 0.999))
+
+    def test_half_open_membership(self):
+        z = Zone((0.0, 0.0), (0.5, 0.5))
+        assert z.contains((0.0, 0.0))
+        assert not z.contains((0.5, 0.25))
+
+    def test_space_boundary_closed_at_top(self):
+        z = Zone((0.5, 0.5), (1.0, 1.0))
+        assert z.contains((1.0, 1.0))
+        inner = Zone((0.0, 0.0), (0.5, 0.5))
+        assert not inner.contains((0.5, 0.5))
+
+    def test_degenerate_zone_rejected(self):
+        with pytest.raises(ValueError):
+            Zone((0.0, 0.5), (1.0, 0.5))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Zone((0.0,), (1.0, 1.0))
+
+    def test_center_and_extent(self):
+        z = Zone((0.0, 0.2), (0.5, 1.0))
+        assert z.center() == (0.25, 0.6)
+        assert z.extent(0) == 0.5
+        assert z.extent(1) == pytest.approx(0.8)
+
+    def test_as_point_validates(self):
+        with pytest.raises(ValueError):
+            as_point((0.5, 1.5))
+        assert as_point([0.1, 0.2]) == (0.1, 0.2)
+
+
+class TestSplit:
+    def test_split_partitions_volume(self):
+        z = unit_zone(2)
+        lo, hi = z.split(0, 0.3)
+        assert lo.volume() + hi.volume() == pytest.approx(z.volume())
+        assert lo.hi[0] == 0.3 and hi.lo[0] == 0.3
+
+    def test_split_outside_extent_rejected(self):
+        z = Zone((0.0, 0.0), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            z.split(0, 0.7)
+        with pytest.raises(ValueError):
+            z.split(0, 0.0)
+
+    def test_split_halves_abut(self):
+        z = unit_zone(3)
+        lo, hi = z.split(1, 0.4)
+        assert lo.abuts(hi)
+        assert hi.abuts(lo)
+
+    @given(at=st.floats(min_value=0.01, max_value=0.99), dim=st.integers(0, 2))
+    def test_split_preserves_membership(self, at, dim):
+        z = unit_zone(3)
+        lo, hi = z.split(dim, at)
+        probe = (0.5, 0.5, 0.5)
+        assert lo.contains(probe) != hi.contains(probe) or not z.contains(probe)
+
+
+class TestAbutment:
+    def test_face_neighbors(self):
+        a = Zone((0.0, 0.0), (0.5, 1.0))
+        b = Zone((0.5, 0.0), (1.0, 1.0))
+        assert a.abuts(b) and b.abuts(a)
+
+    def test_corner_touch_is_not_abutment(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.5), (1.0, 1.0))
+        assert not a.abuts(b)
+
+    def test_partial_face_overlap_is_abutment(self):
+        a = Zone((0.0, 0.0), (0.5, 1.0))
+        b = Zone((0.5, 0.25), (1.0, 0.75))
+        assert a.abuts(b)
+
+    def test_disjoint_zones_not_abutting(self):
+        a = Zone((0.0, 0.0), (0.25, 0.25))
+        b = Zone((0.5, 0.5), (1.0, 1.0))
+        assert not a.abuts(b)
+
+    def test_edge_touch_in_3d_is_not_abutment(self):
+        a = Zone((0.0, 0.0, 0.0), (0.5, 0.5, 1.0))
+        b = Zone((0.5, 0.5, 0.0), (1.0, 1.0, 1.0))
+        assert not a.abuts(b)
+
+    @given(at1=st.floats(min_value=0.1, max_value=0.9),
+           at2=st.floats(min_value=0.1, max_value=0.9))
+    def test_recursive_splits_stay_consistent(self, at1, at2):
+        z = unit_zone(2)
+        left, right = z.split(0, at1)
+        ll, lr = left.split(1, at2)
+        # Both sub-halves of `left` touch `right` along dim 0.
+        assert ll.abuts(right) and lr.abuts(right)
+        assert ll.abuts(lr)
+
+
+class TestDistances:
+    def test_zone_distance_inside_is_zero(self):
+        z = unit_zone(2)
+        assert zone_distance(z, (0.3, 0.7)) == 0.0
+
+    def test_zone_distance_outside(self):
+        z = Zone((0.0, 0.0), (0.5, 0.5))
+        assert zone_distance(z, (1.0, 0.25)) == pytest.approx(0.25)
+        assert zone_distance(z, (1.0, 1.0)) == pytest.approx(0.5)
+
+    def test_clamp(self):
+        z = Zone((0.0, 0.0), (0.5, 0.5))
+        assert z.clamp((0.9, 0.2)) == (0.5, 0.2)
+
+    @given(p=points(3), q=points(3))
+    def test_point_distance_symmetric(self, p, q):
+        assert point_distance_sq(p, q) == point_distance_sq(q, p)
+
+    @given(p=points(2), at=st.floats(min_value=0.1, max_value=0.9))
+    def test_zone_distance_decreases_into_subzone(self, p, at):
+        """Distance to the half containing p is 0; to the other >= 0."""
+        z = unit_zone(2)
+        lo, hi = z.split(0, at)
+        inside = lo if lo.contains(p) else hi
+        assume(inside.contains(p))
+        assert zone_distance(inside, p) == 0.0
+
+    @given(p=points(2))
+    def test_zone_distance_matches_clamp(self, p):
+        z = Zone((0.25, 0.25), (0.75, 0.75))
+        clamped = z.clamp(p)
+        assert zone_distance(z, p) == pytest.approx(point_distance_sq(p, clamped))

@@ -1,0 +1,168 @@
+"""Pastry: digit math, leaf sets, prefix routing, churn behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dht.pastry import PastryNode, PastryOverlay
+from repro.dht.pastry.node import circular_distance, digits_of, shared_prefix_len
+from repro.util.ids import GUID_BITS, guid_for
+
+ids = st.integers(min_value=0, max_value=(1 << GUID_BITS) - 1)
+
+
+def build_overlay(n, seed=0, **kwargs):
+    ov = PastryOverlay(np.random.default_rng(seed), **kwargs)
+    ov.build(sorted({guid_for(f"pastry-{seed}-{i}") for i in range(n)}))
+    return ov
+
+
+class TestDigitMath:
+    def test_digits_roundtrip(self):
+        nid = guid_for("roundtrip")
+        digits = digits_of(nid)
+        rebuilt = 0
+        for d in digits:
+            rebuilt = (rebuilt << 4) | d
+        assert rebuilt == nid
+
+    def test_digit_count(self):
+        assert len(digits_of(0)) == GUID_BITS // 4
+        assert len(digits_of(0, bits=16, b=4)) == 4
+
+    def test_shared_prefix(self):
+        assert shared_prefix_len((1, 2, 3), (1, 2, 4)) == 2
+        assert shared_prefix_len((1, 2, 3), (1, 2, 3)) == 3
+        assert shared_prefix_len((5,), (6,)) == 0
+
+    @given(a=ids, b=ids)
+    def test_circular_distance_symmetric(self, a, b):
+        assert circular_distance(a, b) == circular_distance(b, a)
+
+    @given(a=ids, b=ids)
+    def test_circular_distance_bounded(self, a, b):
+        assert 0 <= circular_distance(a, b) <= (1 << GUID_BITS) // 2
+
+    @given(a=ids)
+    def test_self_distance_zero(self, a):
+        assert circular_distance(a, a) == 0
+
+    def test_bits_not_multiple_of_b_rejected(self):
+        with pytest.raises(ValueError):
+            PastryNode(1, bits=10, b=4)
+
+
+class TestConstruction:
+    def test_leaf_sets_are_ring_neighbors(self):
+        ov = build_overlay(50)
+        ids_sorted = [n.node_id for n in ov.live_nodes()]
+        for i, node in enumerate(ov.live_nodes()):
+            smaller_ids = [n.node_id for n in node.leaf_smaller]
+            expected = [ids_sorted[(i - k) % 50] for k in range(1, 5)]
+            assert smaller_ids == expected
+
+    def test_routing_entries_share_prefix(self):
+        ov = build_overlay(60)
+        for node in ov.live_nodes():
+            for row_idx, row in enumerate(node.routing_table):
+                for col, entry in enumerate(row):
+                    if entry is None:
+                        continue
+                    assert shared_prefix_len(entry.digits, node.digits) == row_idx
+                    assert entry.digits[row_idx] == col
+
+    def test_small_network_leafs_cover_everything(self):
+        ov = build_overlay(4, leaf_set_size=8)
+        for node in ov.live_nodes():
+            known = {leaf.node_id for leaf in node.leaf_set()}
+            assert known == {n.node_id for n in ov.live_nodes()} - {node.node_id}
+
+    def test_bad_leaf_set_size_rejected(self):
+        with pytest.raises(ValueError):
+            PastryOverlay(np.random.default_rng(0), leaf_set_size=3)
+
+
+class TestRouting:
+    def test_owner_matches_oracle(self):
+        ov = build_overlay(150)
+        for i in range(300):
+            key = guid_for(f"route-{i}")
+            res = ov.route(key)
+            assert res.success
+            assert res.owner is ov.owner_oracle(key)
+
+    def test_hops_track_log16(self):
+        ov = build_overlay(256)
+        hops = [ov.route(guid_for(f"h{i}")).hops for i in range(300)]
+        assert np.mean(hops) <= 2.0 * np.log2(256) / 4.0 + 3.0
+
+    def test_route_from_start(self):
+        ov = build_overlay(60)
+        start = ov.live_nodes()[10]
+        res = ov.route(guid_for("from-here"), start=start)
+        assert res.success and res.path[0] == start.node_id
+
+    def test_key_equal_to_node_id(self):
+        ov = build_overlay(60)
+        target = ov.live_nodes()[7]
+        res = ov.route(target.node_id)
+        assert res.owner is target
+
+    def test_empty_overlay(self):
+        ov = PastryOverlay(np.random.default_rng(0))
+        assert not ov.route(42).success
+
+
+class TestChurn:
+    def test_repair_restores_full_accuracy(self):
+        ov = build_overlay(120)
+        for node in ov.live_nodes()[::3]:
+            ov.crash(node.node_id)
+        ov.repair()
+        for i in range(200):
+            key = guid_for(f"churn-{i}")
+            res = ov.route(key)
+            assert res.success and res.owner is ov.owner_oracle(key)
+
+    def test_leaf_redundancy_survives_unrepaired_crashes(self):
+        ov = build_overlay(120, leaf_set_size=16)
+        for node in ov.live_nodes()[::8]:
+            ov.crash(node.node_id)
+        ok = 0
+        for i in range(200):
+            key = guid_for(f"x-{i}")
+            res = ov.route(key)
+            if res.success and res.owner is ov.owner_oracle(key):
+                ok += 1
+        assert ok >= 180  # >90% without any repair round
+
+    def test_join_is_findable_and_fills_holes(self):
+        ov = build_overlay(60)
+        newcomer = PastryNode(guid_for("pastry-late"))
+        ov.join(newcomer)
+        res = ov.route(newcomer.node_id)
+        assert res.owner is newcomer
+        # Its ring neighbors list it in their leaf sets.
+        oracle = ov.owner_oracle((newcomer.node_id + 1) & ((1 << 64) - 1))
+        neighbors = ov._leaf_neighborhood(newcomer.node_id)
+        assert any(newcomer in ov.nodes[nid].leaf_set() for nid in neighbors)
+
+
+class TestStorage:
+    def test_put_get_with_leaf_replication(self):
+        ov = build_overlay(80)
+        key = guid_for("pastry-value")
+        ov.put(key, "v", replicas=4)
+        holders = [n for n in ov.live_nodes() if key in n.store]
+        assert len(holders) == 4
+        _, value = ov.get(key, replicas=4)
+        assert value == "v"
+
+    def test_value_survives_owner_crash(self):
+        ov = build_overlay(80)
+        key = guid_for("pastry-durable")
+        ov.put(key, "keep", replicas=4)
+        ov.crash(ov.owner_oracle(key).node_id)
+        ov.repair()
+        _, value = ov.get(key, replicas=4)
+        assert value == "keep"

@@ -1,0 +1,155 @@
+"""Stateful property tests: random join/crash/lookup interleavings.
+
+Hypothesis drives arbitrary membership histories against each overlay and
+checks, after every step, that routing agrees with the oracle and the
+structural invariants hold.  These catch ordering bugs (e.g. takeover
+after cascading failures) that fixed scenarios miss.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.dht.can import CANNode, CANOverlay
+from repro.dht.chord import ChordNode, ChordOverlay
+from repro.dht.pastry import PastryNode, PastryOverlay
+from repro.util.ids import guid_for
+
+
+class ChordMachine(RuleBasedStateMachine):
+    """Chord under arbitrary oracle-membership churn."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.overlay = ChordOverlay(np.random.default_rng(0))
+        self.counter = 0
+        first = guid_for("chord-state-0")
+        self.overlay.build([first])
+        self.member_ids = {first}
+
+    @rule()
+    def join_node(self) -> None:
+        self.counter += 1
+        nid = guid_for(f"chord-state-{self.counter}")
+        if nid in self.overlay.nodes:
+            if not self.overlay.nodes[nid].alive:
+                self.overlay.recover(nid)
+                self.member_ids.add(nid)
+            return
+        self.overlay.oracle_join(ChordNode(nid))
+        self.member_ids.add(nid)
+
+    @precondition(lambda self: len(self.member_ids) > 1)
+    @rule(pick=st.integers(0, 10**9))
+    def crash_node(self, pick: int) -> None:
+        victim = sorted(self.member_ids)[pick % len(self.member_ids)]
+        self.overlay.crash(victim)
+        self.overlay.repair()
+        self.member_ids.discard(victim)
+
+    @rule(key_seed=st.integers(0, 10**9))
+    def lookup(self, key_seed: int) -> None:
+        key = guid_for(f"chord-key-{key_seed}")
+        res = self.overlay.route(key)
+        assert res.success
+        assert res.owner is self.overlay.successor_of(key)
+
+    @invariant()
+    def live_set_matches(self) -> None:
+        assert {n.node_id for n in self.overlay.live_nodes()} == self.member_ids
+
+
+class CANMachine(RuleBasedStateMachine):
+    """CAN under arbitrary join/crash churn with immediate takeover."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.overlay = CANOverlay(np.random.default_rng(0), dims=3)
+        self.rng = np.random.default_rng(42)
+        self.counter = 0
+        first = CANNode(guid_for("can-state-0"), tuple(self.rng.uniform(0, 1, 3)))
+        self.overlay.join(first)
+        self.member_ids = {first.node_id}
+
+    @rule()
+    def join_node(self) -> None:
+        self.counter += 1
+        name = f"can-state-{self.counter}"
+        nid = guid_for(name)
+        if nid in self.overlay.nodes:
+            return
+        self.overlay.join(CANNode(nid, tuple(self.rng.uniform(0, 1, 3))))
+        self.member_ids.add(nid)
+
+    @precondition(lambda self: len(self.member_ids) > 1)
+    @rule(pick=st.integers(0, 10**9))
+    def crash_node(self, pick: int) -> None:
+        victim = sorted(self.member_ids)[pick % len(self.member_ids)]
+        self.overlay.crash(victim)
+        self.member_ids.discard(victim)
+
+    @rule(seed=st.integers(0, 10**9))
+    def route(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        point = tuple(rng.uniform(0, 1, 3))
+        res = self.overlay.route(point)
+        assert res.success
+        assert res.owner is self.overlay.zone_owner(point)
+
+    @invariant()
+    def tessellation_holds(self) -> None:
+        self.overlay.check_invariants()
+
+
+class PastryMachine(RuleBasedStateMachine):
+    """Pastry under join/crash churn with oracle repair."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.overlay = PastryOverlay(np.random.default_rng(0))
+        self.counter = 0
+        first = guid_for("pastry-state-0")
+        self.overlay.build([first])
+        self.member_ids = {first}
+
+    @rule()
+    def join_node(self) -> None:
+        self.counter += 1
+        nid = guid_for(f"pastry-state-{self.counter}")
+        if nid in self.overlay.nodes:
+            return
+        self.overlay.join(PastryNode(nid))
+        self.member_ids.add(nid)
+
+    @precondition(lambda self: len(self.member_ids) > 1)
+    @rule(pick=st.integers(0, 10**9))
+    def crash_node(self, pick: int) -> None:
+        victim = sorted(self.member_ids)[pick % len(self.member_ids)]
+        self.overlay.crash(victim)
+        self.overlay.repair()
+        self.member_ids.discard(victim)
+
+    @rule(key_seed=st.integers(0, 10**9))
+    def lookup(self, key_seed: int) -> None:
+        key = guid_for(f"pastry-key-{key_seed}")
+        res = self.overlay.route(key)
+        assert res.success
+        assert res.owner is self.overlay.owner_oracle(key)
+
+
+common_settings = settings(max_examples=12, stateful_step_count=30,
+                           deadline=None)
+
+TestChordStateful = ChordMachine.TestCase
+TestChordStateful.settings = common_settings
+TestCANStateful = CANMachine.TestCase
+TestCANStateful.settings = common_settings
+TestPastryStateful = PastryMachine.TestCase
+TestPastryStateful.settings = common_settings

@@ -1,0 +1,52 @@
+"""Tuning sweeps and the message-level protocol experiment (small scale)."""
+
+from repro.experiments import (
+    run_heartbeat_sweep,
+    run_latency_sensitivity,
+    run_protocol_experiment,
+    run_walk_length_sweep,
+)
+from repro.experiments.protocol import ProtocolConfig
+
+
+class TestHeartbeatSweep:
+    def test_traffic_and_recovery_tradeoff(self):
+        result = run_heartbeat_sweep(intervals=(2.0, 10.0),
+                                     n_nodes=50, n_jobs=100)
+        checks = result.shape_checks()
+        assert checks["dense_heartbeats_cost_messages"]
+        assert checks["all_settings_complete"]
+        assert "Heartbeat cadence" in result.report()
+
+    def test_messages_scale_inversely_with_interval(self):
+        result = run_heartbeat_sweep(intervals=(2.0, 4.0, 8.0),
+                                     n_nodes=40, n_jobs=80)
+        msgs = [result.by_interval[i]["msgs_per_job"] for i in (2.0, 4.0, 8.0)]
+        assert msgs[0] > msgs[1] > msgs[2]
+
+
+class TestWalkLengthSweep:
+    def test_cost_monotone_in_length(self):
+        result = run_walk_length_sweep(lengths=(0, 4), scale=0.08)
+        assert result.by_len[4]["match_cost_mean"] > \
+            result.by_len[0]["match_cost_mean"]
+        assert result.shape_checks()["walk_does_not_destroy_balance"]
+
+
+class TestLatencySensitivity:
+    def test_queueing_dominates(self):
+        result = run_latency_sensitivity(latencies_ms=(10.0, 200.0),
+                                         scale=0.08)
+        assert result.shape_checks()["queueing_dominates_latency"]
+        assert "latency" in result.report().lower()
+
+
+class TestProtocolExperiment:
+    def test_tradeoff_shapes(self):
+        result = run_protocol_experiment(
+            ProtocolConfig(n_nodes=24, intervals=(2.0, 16.0), measure=200.0))
+        checks = result.shape_checks()
+        assert checks["traffic_scales_with_interval"]
+        assert checks["fast_repair_reliable"]
+        assert checks["fast_repair_ring_converges"]
+        assert "maintenance traffic" in result.report()

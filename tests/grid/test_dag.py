@@ -1,0 +1,111 @@
+"""The DAGMan-style dependency scheduler (§5 future work)."""
+
+import pytest
+
+from repro.grid.dag import DagCycleError, DagJobKind, DagScheduler
+from repro.grid.job import JobState
+
+from tests.conftest import make_small_grid
+
+UNCONSTRAINED = (0.0, 0.0, 0.0)
+
+
+def make_dag_grid():
+    grid = make_small_grid()
+    client = grid.client("workflow")
+    return grid, client, DagScheduler(grid, client)
+
+
+class TestDeclaration:
+    def test_parents_must_exist(self):
+        _, _, dag = make_dag_grid()
+        with pytest.raises(ValueError):
+            dag.add_job("child", UNCONSTRAINED, 1.0, deps=("ghost",))
+
+    def test_duplicate_names_rejected(self):
+        _, _, dag = make_dag_grid()
+        dag.add_job("a", UNCONSTRAINED, 1.0)
+        with pytest.raises(ValueError):
+            dag.add_job("a", UNCONSTRAINED, 1.0)
+
+    def test_kind_accepts_strings(self):
+        _, _, dag = make_dag_grid()
+        job = dag.add_job("a", UNCONSTRAINED, 1.0, kind="analysis")
+        assert job.extra["dag_kind"] == "analysis"
+        assert dag.nodes["a"].kind is DagJobKind.ANALYSIS
+
+    def test_no_declaration_after_submit(self):
+        _, _, dag = make_dag_grid()
+        dag.add_job("a", UNCONSTRAINED, 1.0)
+        dag.submit()
+        with pytest.raises(RuntimeError):
+            dag.add_job("b", UNCONSTRAINED, 1.0)
+
+
+class TestExecutionOrder:
+    def test_analysis_runs_after_simulation(self):
+        grid, _, dag = make_dag_grid()
+        sim_job = dag.add_job("sim", UNCONSTRAINED, 10.0)
+        ana_job = dag.add_job("ana", UNCONSTRAINED, 5.0, deps=("sim",),
+                              kind="analysis")
+        assert dag.submit() == 1  # only the root released
+        grid.run_until_done(max_time=1000)
+        assert dag.complete
+        assert ana_job.submit_time >= sim_job.finish_time
+
+    def test_diamond_dependency(self):
+        grid, _, dag = make_dag_grid()
+        dag.add_job("root", UNCONSTRAINED, 5.0)
+        dag.add_job("left", UNCONSTRAINED, 5.0, deps=("root",))
+        dag.add_job("right", UNCONSTRAINED, 8.0, deps=("root",))
+        final = dag.add_job("join", UNCONSTRAINED, 2.0,
+                            deps=("left", "right"))
+        dag.submit()
+        grid.run_until_done(max_time=1000)
+        assert dag.complete
+        left, right = dag.nodes["left"].job, dag.nodes["right"].job
+        assert final.submit_time >= max(left.finish_time, right.finish_time)
+
+    def test_outputs_wired_to_inputs(self):
+        grid, _, dag = make_dag_grid()
+        dag.add_job("sim", UNCONSTRAINED, 5.0)
+        ana = dag.add_job("ana", UNCONSTRAINED, 2.0, deps=("sim",))
+        dag.submit()
+        grid.run_until_done(max_time=1000)
+        assert ana.extra["inputs"] == {"sim": "output:sim"}
+
+    def test_independent_roots_run_concurrently(self):
+        grid, _, dag = make_dag_grid()
+        jobs = [dag.add_job(f"root-{i}", UNCONSTRAINED, 20.0)
+                for i in range(4)]
+        assert dag.submit() == 4
+        grid.run_until_done(max_time=1000)
+        # On a 16-node grid the four roots overlap in time.
+        starts = [j.start_time for j in jobs]
+        finishes = [j.finish_time for j in jobs]
+        assert max(starts) < min(finishes)
+
+    def test_progress(self):
+        grid, _, dag = make_dag_grid()
+        dag.add_job("a", UNCONSTRAINED, 5.0)
+        dag.add_job("b", UNCONSTRAINED, 5.0, deps=("a",))
+        dag.submit()
+        assert dag.progress() == (0, 2)
+        grid.run_until_done(max_time=1000)
+        assert dag.progress() == (2, 2)
+
+    def test_double_submit_rejected(self):
+        _, _, dag = make_dag_grid()
+        dag.add_job("a", UNCONSTRAINED, 1.0)
+        dag.submit()
+        with pytest.raises(RuntimeError):
+            dag.submit()
+
+    def test_all_jobs_complete_state(self):
+        grid, _, dag = make_dag_grid()
+        for i in range(3):
+            deps = (f"j-{i-1}",) if i else ()
+            dag.add_job(f"j-{i}", UNCONSTRAINED, 3.0, deps=deps)
+        dag.submit()
+        grid.run_until_done(max_time=1000)
+        assert all(n.job.state is JobState.COMPLETED for n in dag.nodes.values())

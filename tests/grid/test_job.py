@@ -1,0 +1,76 @@
+"""Job profiles and lifecycle accounting."""
+
+import math
+
+import pytest
+
+from repro.grid.job import ACTIVE_STATES, Job, JobProfile, JobState
+from repro.util.ids import guid_for
+
+
+def make_profile(name="j1", work=10.0, **kwargs):
+    defaults = dict(name=name, client_id=1, requirements=(0.0, 0.0, 0.0),
+                    work=work)
+    defaults.update(kwargs)
+    return JobProfile(**defaults)
+
+
+class TestJobProfile:
+    def test_guid_derives_from_name(self):
+        assert make_profile("alpha").guid == guid_for("alpha")
+
+    def test_profile_is_frozen(self):
+        p = make_profile()
+        with pytest.raises(AttributeError):
+            p.work = 5.0  # type: ignore[misc]
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            make_profile(work=0.0)
+
+    def test_rejects_negative_io(self):
+        with pytest.raises(ValueError):
+            make_profile(input_size_kb=-1.0)
+
+
+class TestJobLifecycle:
+    def test_initial_state(self):
+        job = Job(profile=make_profile())
+        assert job.state is JobState.CREATED
+        assert math.isnan(job.submit_time)
+        assert not job.is_done
+
+    def test_wait_time(self):
+        job = Job(profile=make_profile())
+        job.submit_time = 10.0
+        job.start_time = 35.0
+        assert job.wait_time == 25.0
+
+    def test_turnaround(self):
+        job = Job(profile=make_profile())
+        job.submit_time = 10.0
+        job.finish_time = 70.0
+        assert job.turnaround == 60.0
+
+    def test_done_states(self):
+        job = Job(profile=make_profile())
+        for state in (JobState.COMPLETED, JobState.FAILED):
+            job.state = state
+            assert job.is_done
+        for state in ACTIVE_STATES:
+            job.state = state
+            assert not job.is_done
+
+    def test_lost_is_not_done(self):
+        # LOST means the client gave up; it is terminal for metrics but
+        # distinct from a clean outcome.
+        job = Job(profile=make_profile())
+        job.state = JobState.LOST
+        assert not job.is_done
+
+    def test_accounting_fields_start_at_zero(self):
+        job = Job(profile=make_profile())
+        assert job.match_hops == 0
+        assert job.owner_route_hops == 0
+        assert job.run_node_failures == 0
+        assert job.executions == 0

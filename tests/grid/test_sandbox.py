@@ -1,0 +1,66 @@
+"""Sandbox policy enforcement (§5 containment + quotas)."""
+
+import pytest
+
+from repro.grid.job import JobProfile
+from repro.grid.sandbox import SandboxPolicy, SandboxViolation
+
+
+def profile(**kwargs):
+    defaults = dict(name="p", client_id=1, requirements=(0.0, 0.0, 0.0),
+                    work=10.0)
+    defaults.update(kwargs)
+    return JobProfile(**defaults)
+
+
+class TestAdmission:
+    def test_clean_job_admitted(self):
+        SandboxPolicy().check_admission(profile())
+
+    def test_network_access_denied_by_default(self):
+        with pytest.raises(SandboxViolation) as exc:
+            SandboxPolicy().check_admission(profile(), needs_network=True)
+        assert exc.value.rule == "network"
+
+    def test_network_allowed_when_policy_permits(self):
+        SandboxPolicy(allow_network=True).check_admission(
+            profile(), needs_network=True)
+
+    def test_oversized_input_rejected(self):
+        policy = SandboxPolicy(disk_quota_kb=100.0)
+        with pytest.raises(SandboxViolation) as exc:
+            policy.check_admission(profile(input_size_kb=200.0))
+        assert exc.value.rule == "disk-quota"
+
+
+class TestCompletion:
+    def test_clean_completion(self):
+        SandboxPolicy().check_completion(profile())
+
+    def test_output_quota(self):
+        policy = SandboxPolicy(output_quota_kb=10.0)
+        with pytest.raises(SandboxViolation) as exc:
+            policy.check_completion(profile(output_size_kb=20.0))
+        assert exc.value.rule == "output-quota"
+
+    def test_explicit_produced_size_overrides_declared(self):
+        policy = SandboxPolicy(output_quota_kb=10.0)
+        policy.check_completion(profile(output_size_kb=100.0), produced_kb=5.0)
+        with pytest.raises(SandboxViolation):
+            policy.check_completion(profile(output_size_kb=1.0), produced_kb=50.0)
+
+    def test_total_footprint_quota(self):
+        policy = SandboxPolicy(disk_quota_kb=100.0, output_quota_kb=90.0)
+        with pytest.raises(SandboxViolation) as exc:
+            policy.check_completion(profile(input_size_kb=60.0,
+                                            output_size_kb=60.0))
+        assert exc.value.rule == "disk-quota"
+
+
+class TestRuntimeLimit:
+    def test_limit_scales_with_work(self):
+        policy = SandboxPolicy(max_runtime_factor=10.0)
+        assert policy.runtime_limit(profile(work=30.0)) == 300.0
+
+    def test_disabled_limit(self):
+        assert SandboxPolicy(max_runtime_factor=None).runtime_limit(profile()) is None

@@ -1,0 +1,156 @@
+"""CAN matchmaker: coordinates, owner mapping, climb, candidates."""
+
+import pytest
+
+from repro.grid.job import Job, JobProfile
+from repro.grid.resources import dominates, satisfies
+
+from tests.conftest import make_small_grid
+
+
+def job_with(req, name="can-job"):
+    return Job(profile=JobProfile(name=name, client_id=1, requirements=req,
+                                  work=10.0))
+
+
+@pytest.fixture
+def grid():
+    return make_small_grid("can", n_nodes=40)
+
+
+class TestCoordinates:
+    def test_overlay_has_virtual_dimension(self, grid):
+        assert grid.matchmaker.can.dims == grid.cfg.spec.dims + 1
+
+    def test_node_points_are_normalized_capabilities(self, grid):
+        for node in grid.node_list:
+            can_node = grid.matchmaker.can.nodes[node.node_id]
+            expected = grid.cfg.spec.normalize(node.capability)
+            assert can_node.point[:-1] == expected
+            assert 0.0 <= can_node.point[-1] <= 1.0
+
+    def test_job_point_cached_per_job(self, grid):
+        job = job_with((5.0, 0.0, 0.0))
+        p1 = grid.matchmaker._job_point(job)
+        p2 = grid.matchmaker._job_point(job)
+        assert p1 is p2  # stable across re-matching / owner recovery
+
+    def test_job_point_uses_requirements(self, grid):
+        job = job_with((5.0, 0.0, 2.0))
+        point = grid.matchmaker._job_point(job)
+        assert point[:-1] == (0.5, 0.0, 0.2)
+
+    def test_distinct_jobs_get_distinct_virtual_coords(self, grid):
+        points = {grid.matchmaker._job_point(job_with((0.0, 0.0, 0.0),
+                                                      name=f"vj-{i}"))[-1]
+                  for i in range(20)}
+        assert len(points) == 20
+
+
+class TestOwnerMapping:
+    def test_owner_owns_job_point(self, grid):
+        job = job_with((4.0, 0.0, 0.0))
+        owner, hops = grid.matchmaker.find_owner(job)
+        can_owner = grid.matchmaker.can.nodes[owner.node_id]
+        assert can_owner.owns_point(job.extra["can_point"])
+        assert hops >= 0
+
+    def test_identical_jobs_spread_across_owners(self, grid):
+        owners = set()
+        for i in range(25):
+            job = job_with((0.0, 0.0, 0.0), name=f"spread-{i}")
+            owner, _ = grid.matchmaker.find_owner(job)
+            owners.add(owner.node_id)
+        assert len(owners) > 3  # the virtual dimension breaks the cluster
+
+
+class TestRunNodeSelection:
+    def test_result_satisfies_requirements(self, grid):
+        for i in range(20):
+            req = (float(i % 9), 0.0, float((i * 3) % 8))
+            job = job_with(req, name=f"sel-{i}")
+            owner, _ = grid.matchmaker.find_owner(job)
+            result = grid.matchmaker.find_run_node(owner, job)
+            assert result.node is not None, req
+            assert satisfies(result.node.capability, req)
+
+    def test_climb_needed_when_owner_falls_short(self, grid):
+        # A demanding requirement: the zone owner at that point may not
+        # satisfy it, forcing a climb; the result must still satisfy.
+        req = (9.0, 9.0, 0.0)
+        caps = [n.capability for n in grid.node_list]
+        if not any(satisfies(c, req) for c in caps):
+            pytest.skip("population cannot satisfy the demanding job")
+        job = job_with(req, name="demanding")
+        owner, _ = grid.matchmaker.find_owner(job)
+        result = grid.matchmaker.find_run_node(owner, job)
+        assert result.node is not None
+        assert satisfies(result.node.capability, req)
+
+    def test_dominating_rule_respects_paper_wording(self):
+        grid = make_small_grid("can", n_nodes=40,
+                               candidate_rule="dominating")
+        mm = grid.matchmaker
+        req = (0.0, 0.0, 0.0)
+        job = job_with(req, name="dom")
+        owner, _ = mm.find_owner(job)
+        anchor, _ = mm._climb_to_satisfying(mm.can.nodes[owner.node_id], req)
+        anchor_cap = grid.nodes[anchor.node_id].capability
+        for cand in mm._candidates(anchor, req):
+            if cand is anchor:
+                continue
+            assert dominates(grid.nodes[cand.node_id].capability,
+                             anchor_cap, strict=True)
+
+    def test_probes_counted(self, grid):
+        job = job_with((0.0, 0.0, 0.0))
+        owner, _ = grid.matchmaker.find_owner(job)
+        result = grid.matchmaker.find_run_node(owner, job)
+        # One probe per candidate, and the chosen node is always probed.
+        assert result.probes >= 1
+
+
+class TestClimb:
+    def test_climb_reports_hops(self, grid):
+        mm = grid.matchmaker
+        start = min(
+            (mm.can.nodes[n.node_id] for n in grid.node_list),
+            key=lambda cn: sum(cn.point[:-1]),
+        )
+        req = (8.0, 8.0, 0.0)
+        caps = [n.capability for n in grid.node_list]
+        if not any(satisfies(c, req) for c in caps):
+            pytest.skip("unsatisfiable for this population")
+        anchor, hops = mm._climb_to_satisfying(start, req)
+        assert anchor is not None
+        assert satisfies(grid.nodes[anchor.node_id].capability, req)
+        if not satisfies(grid.nodes[start.node_id].capability, req):
+            assert hops >= 1
+
+    def test_zero_hops_when_start_satisfies(self, grid):
+        mm = grid.matchmaker
+        node = grid.node_list[0]
+        start = mm.can.nodes[node.node_id]
+        anchor, hops = mm._climb_to_satisfying(start, (0.0, 0.0, 0.0))
+        assert anchor is start and hops == 0
+
+
+class TestChurn:
+    def test_crash_then_match_still_works(self, grid):
+        for node in grid.node_list[::4]:
+            grid.crash_node(node.node_id)
+        job = job_with((3.0, 0.0, 0.0), name="post-churn")
+        owner, _ = grid.matchmaker.find_owner(job)
+        assert owner is not None and owner.alive
+        result = grid.matchmaker.find_run_node(owner, job)
+        assert result.node is not None and result.node.alive
+        assert satisfies(result.node.capability, (3.0, 0.0, 0.0))
+
+    def test_rejoin_gets_fresh_zone(self, grid):
+        victim = grid.node_list[7]
+        grid.crash_node(victim.node_id)
+        grid.recover_node(victim.node_id)
+        can_node = grid.matchmaker.can.nodes[victim.node_id]
+        assert can_node.alive
+        assert can_node.zone.contains(can_node.point)
+        grid.matchmaker.can.check_invariants()

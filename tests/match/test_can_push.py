@@ -1,0 +1,140 @@
+"""Pushing CAN: load diffusion, push decisions, pathology repair."""
+
+import math
+
+import pytest
+
+from repro.grid.job import Job, JobProfile
+from repro.grid.resources import satisfies
+
+from tests.conftest import make_small_grid
+
+
+def job_with(req, name="push-job"):
+    return Job(profile=JobProfile(name=name, client_id=1, requirements=req,
+                                  work=10.0))
+
+
+@pytest.fixture
+def grid():
+    return make_small_grid("can-push", n_nodes=40)
+
+
+class TestLoadDiffusion:
+    def test_estimates_exist_for_all_live_nodes(self, grid):
+        mm = grid.matchmaker
+        mm.refresh_load_info()
+        for node in mm.can.live_nodes():
+            ests = mm._up_load[node.node_id]
+            assert len(ests) == grid.cfg.spec.dims
+
+    def test_idle_system_estimates_near_zero(self, grid):
+        mm = grid.matchmaker
+        mm.refresh_load_info()
+        for node in mm.can.live_nodes():
+            for est in mm._up_load[node.node_id]:
+                assert est == 0.0 or math.isinf(est)
+
+    def test_estimates_see_loaded_neighbor(self, grid):
+        mm = grid.matchmaker
+        # Load one node heavily, then refresh: its below-neighbors' first
+        # estimate along some dimension must reflect it.
+        target = grid.node_list[0]
+        for i in range(8):
+            target.queue.append(job_with((0.0, 0.0, 0.0), name=f"ballast-{i}"))
+        mm.refresh_load_info()
+        can_target = mm.can.nodes[target.node_id]
+        seen = False
+        for nb in can_target.neighbors:
+            for d in range(grid.cfg.spec.dims):
+                if can_target in mm._above_neighbors(nb, d):
+                    if mm._up_load[nb.node_id][d] > 0:
+                        seen = True
+        assert seen
+
+    def test_top_boundary_has_infinite_estimate(self, grid):
+        mm = grid.matchmaker
+        mm.refresh_load_info()
+        # Some node owns the top face along each dimension: no
+        # above-neighbor there, so its estimate is +inf.
+        infs = sum(1 for node in mm.can.live_nodes()
+                   for est in mm._up_load[node.node_id] if math.isinf(est))
+        assert infs > 0
+
+
+class TestPushDecision:
+    def test_no_push_on_idle_system(self, grid):
+        job = job_with((0.0, 0.0, 0.0))
+        owner, _ = grid.matchmaker.find_owner(job)
+        result = grid.matchmaker.find_run_node(owner, job)
+        assert result.pushes == 0
+
+    def test_pushes_away_from_loaded_region(self):
+        # A dense grid so the origin zone has a real upward region (with a
+        # coarse tessellation the first above-neighbor may own the rest of
+        # the space, making "up" exactly as loaded as "here").
+        grid = make_small_grid("can-push", n_nodes=200)
+        mm = grid.matchmaker
+        job = job_with((0.0, 0.0, 0.0))
+        # Pin the job to the origin corner: its owner is the bottom-most
+        # zone, which is guaranteed to have upward neighbors to push into.
+        job.extra["can_point"] = (0.0, 0.0, 0.0, 0.0)
+        owner, _ = mm.find_owner(job)
+        anchor_can = mm.can.nodes[owner.node_id]
+        # Load the anchor and all its candidate neighbors.
+        loaded = {anchor_can.node_id}
+        for nb in anchor_can.neighbors:
+            loaded.add(nb.node_id)
+        for nid in loaded:
+            node = grid.nodes[nid]
+            for i in range(6):
+                node.queue.append(job_with((0.0, 0.0, 0.0),
+                                           name=f"bal-{nid}-{i}"))
+        mm.refresh_load_info()
+        mm.refresh_load_info()
+        result = mm.find_run_node(owner, job)
+        assert result.node is not None
+        assert result.pushes >= 1
+        assert result.node.queue_len < 6
+
+    def test_pushed_job_still_satisfied(self, grid):
+        # Pushing moves up in capability space, so satisfaction holds.
+        req = (3.0, 0.0, 0.0)
+        job = job_with(req)
+        owner, _ = grid.matchmaker.find_owner(job)
+        result = grid.matchmaker.find_run_node(owner, job)
+        assert result.node is not None
+        assert satisfies(result.node.capability, req)
+
+    def test_push_capped(self):
+        grid = make_small_grid("can-push", n_nodes=20, max_pushes=2)
+        mm = grid.matchmaker
+        # Saturate everything so pushing always looks attractive.
+        for node in grid.node_list:
+            for i in range(4):
+                node.queue.append(job_with((0.0, 0.0, 0.0),
+                                           name=f"sat-{node.name}-{i}"))
+        mm.refresh_load_info()
+        job = job_with((0.0, 0.0, 0.0), name="capped")
+        owner, _ = mm.find_owner(job)
+        result = mm.find_run_node(owner, job)
+        assert result.pushes <= 2
+
+    def test_bad_blend_rejected(self):
+        from repro.match.can_push import PushingCANMatchmaker
+
+        with pytest.raises(ValueError):
+            PushingCANMatchmaker(blend=1.5)
+
+
+class TestEndToEnd:
+    def test_repairs_pathological_workload(self):
+        """The paper's claim: pushing dramatically improves mixed/light."""
+        from repro.experiments.runner import run_workload
+        from repro.workloads.spec import FIGURE2_SCENARIOS
+
+        wl = FIGURE2_SCENARIOS["mixed-light"].scaled(0.06)
+        basic = run_workload(wl, "can", seed=3).summary
+        push = run_workload(wl, "can-push", seed=3).summary
+        assert push["wait_mean"] < basic["wait_mean"]
+        assert push["pushes_mean"] > 0

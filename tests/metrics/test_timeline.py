@@ -1,0 +1,109 @@
+"""Load timelines, sparklines, and utilization reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid.job import Job, JobProfile
+from repro.metrics.timeline import LoadTimeline, ascii_sparkline, utilization_report
+
+from tests.conftest import make_small_grid
+
+
+def submit_n(grid, client, n, work=20.0):
+    jobs = []
+    for i in range(n):
+        job = Job(profile=JobProfile(name=f"tl-{i}", client_id=client.node_id,
+                                     requirements=(0.0, 0.0, 0.0), work=work))
+        grid.submit_at(0.0, client, job)
+        jobs.append(job)
+    return jobs
+
+
+class TestLoadTimeline:
+    def test_samples_accumulate_over_time(self):
+        grid = make_small_grid(n_nodes=8)
+        client = grid.client("c")
+        submit_n(grid, client, 30)
+        timeline = LoadTimeline(grid, interval=5.0)
+        grid.run_until_done(max_time=10000)
+        timeline.stop()
+        assert len(timeline.samples) >= 5
+        times = [s.time for s in timeline.samples]
+        assert times == sorted(times)
+
+    def test_queue_buildup_visible(self):
+        grid = make_small_grid(n_nodes=2)
+        client = grid.client("c")
+        submit_n(grid, client, 20, work=50.0)
+        timeline = LoadTimeline(grid, interval=5.0)
+        grid.run(until=30.0)
+        timeline.stop()
+        assert timeline.peak("max_queue") >= 5
+
+    def test_fairness_bounds(self):
+        grid = make_small_grid(n_nodes=8)
+        client = grid.client("c")
+        submit_n(grid, client, 40)
+        timeline = LoadTimeline(grid, interval=5.0)
+        grid.run_until_done(max_time=10000)
+        for s in timeline.samples:
+            if not math.isnan(s.fairness):
+                assert 0.0 < s.fairness <= 1.0 + 1e-9
+
+    def test_series_and_extremes(self):
+        grid = make_small_grid(n_nodes=4)
+        client = grid.client("c")
+        submit_n(grid, client, 10)
+        timeline = LoadTimeline(grid, interval=5.0)
+        grid.run_until_done(max_time=10000)
+        series = timeline.series("mean_queue")
+        assert len(series) == len(timeline.samples)
+        assert timeline.peak("mean_queue") >= timeline.trough("mean_queue")
+
+    def test_bad_interval_rejected(self):
+        grid = make_small_grid(n_nodes=2)
+        with pytest.raises(ValueError):
+            LoadTimeline(grid, interval=0.0)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert ascii_sparkline([]) == ""
+
+    def test_constant_series_flat(self):
+        out = ascii_sparkline([5.0] * 10)
+        assert len(set(out)) == 1
+
+    def test_monotone_series_monotone_blocks(self):
+        out = ascii_sparkline(list(range(9)), width=9)
+        levels = [" ▁▂▃▄▅▆▇█".index(ch) for ch in out]
+        assert levels == sorted(levels)
+
+    def test_downsamples_to_width(self):
+        out = ascii_sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
+        assert len(out) == 40
+
+
+class TestUtilization:
+    def test_busy_time_accounting(self):
+        grid = make_small_grid(n_nodes=4)
+        client = grid.client("c")
+        submit_n(grid, client, 8, work=10.0)
+        grid.run_until_done(max_time=10000)
+        report = utilization_report(grid)
+        assert report["total_cpu_seconds"] == pytest.approx(80.0, rel=0.01)
+        assert 0 < report["mean_utilization"] <= 1.0
+
+    def test_idle_nodes_counted(self):
+        grid = make_small_grid(n_nodes=8)
+        client = grid.client("c")
+        submit_n(grid, client, 1, work=5.0)
+        grid.run_until_done(max_time=10000)
+        assert utilization_report(grid)["idle_nodes"] == 7
+
+    def test_bad_horizon_rejected(self):
+        grid = make_small_grid(n_nodes=2)
+        with pytest.raises(ValueError):
+            utilization_report(grid, horizon=0.0)

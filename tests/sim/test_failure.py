@@ -1,0 +1,111 @@
+"""Failure injection: scripted crashes and churn processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.failure import CrashRecoveryProcess, FailureInjector
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFailureInjector:
+    def test_scripted_crash_fires_at_time(self, sim):
+        crashed = []
+        inj = FailureInjector(sim, crashed.append)
+        inj.crash_at(5.0, 42)
+        sim.run(until=4.9)
+        assert crashed == []
+        sim.run(until=5.1)
+        assert crashed == [42]
+        assert inj.crashes_injected == 1
+
+    def test_crash_many(self, sim):
+        crashed = []
+        inj = FailureInjector(sim, crashed.append)
+        inj.crash_many([(1.0, 1), (2.0, 2), (3.0, 3)])
+        sim.run()
+        assert crashed == [1, 2, 3]
+
+    def test_recovery_requires_recover_fn(self, sim):
+        inj = FailureInjector(sim, lambda n: None)
+        with pytest.raises(ValueError):
+            inj.recover_at(1.0, 5)
+
+    def test_crash_then_recover(self, sim):
+        events = []
+        inj = FailureInjector(sim, lambda n: events.append(("crash", n)),
+                              lambda n: events.append(("up", n)))
+        inj.crash_at(1.0, 7)
+        inj.recover_at(2.0, 7)
+        sim.run()
+        assert events == [("crash", 7), ("up", 7)]
+
+
+class TestCrashRecoveryProcess:
+    def test_alternates_crash_and_recover(self, sim):
+        events = []
+        CrashRecoveryProcess(
+            sim, np.random.default_rng(0), [1],
+            crash_fn=lambda n: events.append("down"),
+            recover_fn=lambda n: events.append("up"),
+            mean_uptime=10.0, mean_downtime=5.0,
+        )
+        sim.run(until=500.0)
+        assert len(events) >= 4
+        # Strict alternation starting with a crash.
+        for i, e in enumerate(events):
+            assert e == ("down" if i % 2 == 0 else "up")
+
+    def test_all_nodes_get_churned(self, sim):
+        seen = set()
+        CrashRecoveryProcess(
+            sim, np.random.default_rng(1), [1, 2, 3, 4],
+            crash_fn=seen.add, recover_fn=lambda n: None,
+            mean_uptime=10.0, mean_downtime=10.0,
+        )
+        sim.run(until=200.0)
+        assert seen == {1, 2, 3, 4}
+
+    def test_stop_halts_new_events(self, sim):
+        events = []
+        proc = CrashRecoveryProcess(
+            sim, np.random.default_rng(0), [1],
+            crash_fn=lambda n: events.append("down"),
+            recover_fn=lambda n: events.append("up"),
+            mean_uptime=1.0, mean_downtime=1.0,
+        )
+        sim.run(until=10.0)
+        count = len(events)
+        proc.stop()
+        sim.run(until=100.0)
+        assert len(events) == count
+
+    def test_duty_cycle_roughly_matches(self, sim):
+        # With mean up 30 / down 10, the node should be down ~25% of time.
+        state = {"down_at": None, "down_total": 0.0}
+
+        def crash(n):
+            state["down_at"] = sim.now
+
+        def recover(n):
+            state["down_total"] += sim.now - state["down_at"]
+            state["down_at"] = None
+
+        CrashRecoveryProcess(sim, np.random.default_rng(3), [1],
+                             crash_fn=crash, recover_fn=recover,
+                             mean_uptime=30.0, mean_downtime=10.0)
+        horizon = 100000.0
+        sim.run(until=horizon)
+        frac = state["down_total"] / horizon
+        assert 0.15 < frac < 0.35
+
+    def test_rejects_bad_means(self, sim):
+        with pytest.raises(ValueError):
+            CrashRecoveryProcess(sim, np.random.default_rng(0), [1],
+                                 crash_fn=lambda n: None,
+                                 recover_fn=lambda n: None,
+                                 mean_uptime=0.0, mean_downtime=1.0)

@@ -1,0 +1,123 @@
+"""The discrete-event kernel: ordering, cancellation, run bounds."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_fifo_order(self, sim):
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nan_time_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_events_scheduled_from_callbacks(self, sim):
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        handle.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_cancel_releases_references(self, sim):
+        payload = object()
+        handle = sim.schedule(1.0, lambda x: None, payload)
+        handle.cancel()
+        assert handle.args == ()
+        assert handle.fn is None
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self, sim):
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(5.0, log.append, "late")
+        sim.run(until=2.0)
+        assert log == ["early"]
+        assert sim.now == 2.0  # clock advanced to the bound
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_max_events(self, sim):
+        log = []
+        for i in range(5):
+            sim.schedule(float(i + 1), log.append, i)
+        assert sim.run(max_events=2) == 2
+        assert log == [0, 1]
+
+    def test_step(self, sim):
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_run_is_not_reentrant(self, sim):
+        def bad():
+            sim.run()
+
+        sim.schedule(1.0, bad)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_peek_time_skips_cancelled(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_counters(self, sim):
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_scheduled == 3
+        assert sim.events_processed == 3

@@ -1,0 +1,123 @@
+"""RPC layer: reply correlation, timeouts, dead-peer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rpc import RpcLayer
+
+
+class RpcEndpoint:
+    """Minimal endpoint delegating all traffic to the RPC layer."""
+
+    def __init__(self, node_id, rpc):
+        self.node_id = node_id
+        self.rpc = rpc
+        self.alive = True
+
+    def handle_message(self, msg):
+        assert self.rpc.handle_message(self.node_id, msg)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    network = Network(sim, np.random.default_rng(0),
+                      LatencyModel(mean=0.01, jitter=0.0))
+    rpc = RpcLayer(sim, network, default_timeout=1.0)
+    a, b = RpcEndpoint(1, rpc), RpcEndpoint(2, rpc)
+    network.register(a)
+    network.register(b)
+    return sim, network, rpc, a, b
+
+
+class TestCalls:
+    def test_request_reply_roundtrip(self, setup):
+        sim, _, rpc, a, b = setup
+        rpc.serve(2, lambda method, payload, respond: respond(payload * 2))
+        results = []
+        rpc.call(1, 2, "double", 21, results.append, lambda: results.append("TO"))
+        sim.run()
+        assert results == [42]
+        assert rpc.stats.replies == 1 and rpc.stats.timeouts == 0
+
+    def test_timeout_on_dead_server(self, setup):
+        sim, _, rpc, a, b = setup
+        rpc.serve(2, lambda m, p, r: r(p))
+        b.alive = False
+        results = []
+        rpc.call(1, 2, "echo", "x", results.append, lambda: results.append("TO"))
+        sim.run()
+        assert results == ["TO"]
+        assert rpc.stats.timeouts == 1
+
+    def test_timeout_when_no_handler(self, setup):
+        sim, _, rpc, a, b = setup  # node 2 never calls serve()
+        results = []
+        rpc.call(1, 2, "echo", "x", results.append, lambda: results.append("TO"))
+        sim.run()
+        assert results == ["TO"]
+
+    def test_exactly_one_outcome(self, setup):
+        # A reply arriving after the timeout fired must be discarded.
+        sim, network, rpc, a, b = setup
+        def slow_handler(method, payload, respond):
+            sim.schedule(5.0, respond, payload)  # responds after timeout
+        rpc.serve(2, slow_handler)
+        results = []
+        rpc.call(1, 2, "slow", "v", results.append, lambda: results.append("TO"),
+                 timeout=0.5)
+        sim.run()
+        assert results == ["TO"]
+
+    def test_deferred_reply_within_timeout(self, setup):
+        sim, _, rpc, a, b = setup
+        def deferred(method, payload, respond):
+            sim.schedule(0.2, respond, "later")
+        rpc.serve(2, deferred)
+        results = []
+        rpc.call(1, 2, "defer", None, results.append, lambda: results.append("TO"))
+        sim.run()
+        assert results == ["later"]
+
+    def test_concurrent_calls_correlated(self, setup):
+        sim, _, rpc, a, b = setup
+        rpc.serve(2, lambda m, p, r: r(p + 1))
+        results = {}
+        for i in range(10):
+            rpc.call(1, 2, "inc", i,
+                     (lambda i: lambda v: results.__setitem__(i, v))(i),
+                     lambda: None)
+        sim.run()
+        assert results == {i: i + 1 for i in range(10)}
+
+    def test_method_stats(self, setup):
+        sim, _, rpc, a, b = setup
+        rpc.serve(2, lambda m, p, r: r(None))
+        rpc.call(1, 2, "ping", None, lambda _: None, lambda: None)
+        rpc.call(1, 2, "ping", None, lambda _: None, lambda: None)
+        rpc.call(1, 2, "get", None, lambda _: None, lambda: None)
+        sim.run()
+        assert rpc.stats.by_method == {"ping": 2, "get": 1}
+
+    def test_unserve_stops_answering(self, setup):
+        sim, _, rpc, a, b = setup
+        rpc.serve(2, lambda m, p, r: r("up"))
+        rpc.unserve(2)
+        results = []
+        rpc.call(1, 2, "q", None, results.append, lambda: results.append("TO"))
+        sim.run()
+        assert results == ["TO"]
+
+    def test_bad_timeout_rejected(self):
+        sim = Simulator()
+        network = Network(sim, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            RpcLayer(sim, network, default_timeout=0.0)
+
+    def test_non_rpc_message_not_consumed(self, setup):
+        from repro.sim.network import Message
+
+        _, _, rpc, a, b = setup
+        assert rpc.handle_message(1, Message("other", 2, 1)) is False

@@ -1,0 +1,58 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+    def test_seed_parsing(self):
+        args = build_parser().parse_args(["run", "figure2", "--seeds", "3,5"])
+        assert args.seeds == (3, 5)
+
+    def test_bad_seed_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure2", "--seeds", "a,b"])
+
+    def test_registry_covers_every_driver(self):
+        # Every public run_* experiment driver is reachable from the CLI.
+        import repro.experiments as exp
+
+        drivers = {name for name in exp.__all__ if name.startswith("run_")}
+        # runner-internal helpers are not standalone experiments
+        drivers -= {"run_workload", "run_replicates"}
+        assert len(EXPERIMENTS) == len(drivers)
+
+
+class TestExecution:
+    def test_run_small_experiment(self, capsys, tmp_path):
+        code = main(["run", "ablation-k", "--scale", "0.06",
+                     "--out", str(tmp_path), "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RN-Tree extended search" in out
+        assert "[ok]" in out
+        assert (tmp_path / "ablation-k.txt").exists()
+
+    def test_check_flag_propagates_failures(self, capsys, monkeypatch):
+        class FakeResult:
+            def report(self):
+                return "fake"
+
+            def shape_checks(self):
+                return {"doomed": False}
+
+        monkeypatch.setitem(EXPERIMENTS, "ablation-k",
+                            ("desc", lambda scale, seeds: FakeResult()))
+        assert main(["run", "ablation-k", "--check"]) == 1
+        assert main(["run", "ablation-k"]) == 0  # informational without --check

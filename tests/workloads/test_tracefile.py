@@ -1,0 +1,106 @@
+"""Trace-file save/load round-trips and format validation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.jobs import generate_job_stream
+from repro.workloads.nodes import generate_nodes
+from repro.workloads.spec import WorkloadConfig
+from repro.workloads.tracefile import TraceFormatError, load_trace, save_trace
+
+
+@pytest.fixture
+def stream():
+    cfg = WorkloadConfig(n_nodes=20, n_jobs=50)
+    rng = np.random.default_rng(0)
+    nodes = generate_nodes(cfg, rng)
+    return generate_job_stream(cfg, rng, [c for _, c in nodes])
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path, stream):
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(path, stream, comment="test trace") == 50
+        loaded = load_trace(path)
+        assert loaded == sorted(stream, key=lambda j: j.submit_time)
+
+    def test_loaded_trace_drives_a_grid(self, tmp_path, stream):
+        from repro.grid.job import Job, JobState
+        from tests.conftest import make_small_grid
+
+        path = tmp_path / "drive.jsonl"
+        save_trace(path, stream[:10])
+        grid = make_small_grid(n_nodes=10)
+        clients = [grid.client(f"c{i}") for i in range(4)]
+        for sj in load_trace(path):
+            client = clients[sj.client_index]
+            grid.submit_at(sj.submit_time, client,
+                           Job(profile=sj.profile(client.node_id)))
+        assert grid.run_until_done(max_time=100000)
+        assert len(grid.metrics.completed()) == 10
+
+    def test_comment_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(
+            "# header comment\n"
+            "\n"
+            '{"name": "j", "submit_time": 1.0, "client_index": 0, '
+            '"requirements": [0, 0, 0], "work": 5.0}\n')
+        assert len(load_trace(path)) == 1
+
+    def test_load_sorts_by_submit_time(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            '{"name": "late", "submit_time": 9.0, "client_index": 0, '
+            '"requirements": [0], "work": 1.0}\n'
+            '{"name": "early", "submit_time": 1.0, "client_index": 0, '
+            '"requirements": [0], "work": 1.0}\n')
+        assert [j.name for j in load_trace(path)] == ["early", "late"]
+
+
+class TestValidation:
+    def write_and_expect_error(self, tmp_path, body, match):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(body)
+        with pytest.raises(TraceFormatError, match=match):
+            load_trace(path)
+
+    def test_invalid_json(self, tmp_path):
+        self.write_and_expect_error(tmp_path, "not json\n", "invalid JSON")
+
+    def test_missing_field(self, tmp_path):
+        self.write_and_expect_error(
+            tmp_path, '{"name": "j", "submit_time": 1.0}\n', "missing field")
+
+    def test_duplicate_names(self, tmp_path):
+        row = ('{"name": "dup", "submit_time": 1.0, "client_index": 0, '
+               '"requirements": [0], "work": 1.0}\n')
+        self.write_and_expect_error(tmp_path, row + row, "duplicate")
+
+    def test_nonpositive_work(self, tmp_path):
+        self.write_and_expect_error(
+            tmp_path,
+            '{"name": "j", "submit_time": 1.0, "client_index": 0, '
+            '"requirements": [0], "work": 0.0}\n',
+            "work must be positive")
+
+    def test_negative_submit_time(self, tmp_path):
+        self.write_and_expect_error(
+            tmp_path,
+            '{"name": "j", "submit_time": -1.0, "client_index": 0, '
+            '"requirements": [0], "work": 1.0}\n',
+            "submit_time")
+
+    def test_negative_requirement(self, tmp_path):
+        self.write_and_expect_error(
+            tmp_path,
+            '{"name": "j", "submit_time": 1.0, "client_index": 0, '
+            '"requirements": [-2.0], "work": 1.0}\n',
+            "requirements")
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "line.jsonl"
+        path.write_text("# ok\n{bad\n")
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert exc.value.line_no == 2

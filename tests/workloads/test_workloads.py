@@ -1,0 +1,147 @@
+"""Workload generators: populations, constraints, arrivals, feasibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.resources import satisfies
+from repro.workloads.jobs import generate_job_stream, mean_constraints
+from repro.workloads.nodes import generate_nodes
+from repro.workloads.spec import FIGURE2_SCENARIOS, WorkloadConfig
+
+
+def gen(seed=0, **kwargs):
+    cfg = WorkloadConfig(**kwargs)
+    rng = np.random.default_rng(seed)
+    nodes = generate_nodes(cfg, rng)
+    jobs = generate_job_stream(cfg, rng, [c for _, c in nodes])
+    return cfg, nodes, jobs
+
+
+class TestNodeGeneration:
+    def test_count_and_names_unique(self):
+        _, nodes, _ = gen(n_nodes=100, n_jobs=0)
+        assert len(nodes) == 100
+        assert len({name for name, _ in nodes}) == 100
+
+    def test_levels_in_range(self):
+        _, nodes, _ = gen(n_nodes=200, n_jobs=0, node_mode="mixed")
+        for _, cap in nodes:
+            assert all(1.0 <= c <= 10.0 for c in cap)
+            assert all(float(c).is_integer() for c in cap)
+
+    def test_clustered_has_few_classes(self):
+        _, nodes, _ = gen(n_nodes=200, n_jobs=0, node_mode="clustered",
+                          node_classes=10)
+        classes = {cap for _, cap in nodes}
+        assert len(classes) <= 10
+
+    def test_clustered_classes_evenly_sized(self):
+        _, nodes, _ = gen(n_nodes=100, n_jobs=0, node_mode="clustered",
+                          node_classes=10)
+        from collections import Counter
+
+        counts = Counter(cap for _, cap in nodes)
+        # Classes may collide on identical capability draws, but each
+        # drawn class holds a multiple of 10 nodes.
+        assert all(c % 10 == 0 for c in counts.values())
+
+    def test_mixed_is_diverse(self):
+        _, nodes, _ = gen(n_nodes=200, n_jobs=0, node_mode="mixed")
+        assert len({cap for _, cap in nodes}) > 50
+
+
+class TestJobGeneration:
+    def test_every_job_is_feasible(self):
+        _, nodes, jobs = gen(n_nodes=50, n_jobs=300, job_mode="mixed",
+                             constraint_prob=0.8)
+        caps = [c for _, c in nodes]
+        for job in jobs:
+            assert any(satisfies(c, job.requirements) for c in caps), \
+                job.requirements
+
+    def test_constraint_density_lightly(self):
+        _, _, jobs = gen(n_nodes=50, n_jobs=2000, constraint_prob=0.4,
+                         job_mode="mixed")
+        assert mean_constraints(jobs) == pytest.approx(1.2, abs=0.15)
+
+    def test_constraint_density_heavily(self):
+        _, _, jobs = gen(n_nodes=50, n_jobs=2000, constraint_prob=0.8,
+                         job_mode="mixed")
+        assert mean_constraints(jobs) == pytest.approx(2.4, abs=0.15)
+
+    def test_clustered_jobs_form_classes(self):
+        _, _, jobs = gen(n_nodes=50, n_jobs=500, job_mode="clustered",
+                         job_classes=10)
+        reqs = {j.requirements for j in jobs}
+        assert len(reqs) <= 10
+
+    def test_poisson_arrivals_monotone_with_right_rate(self):
+        cfg, _, jobs = gen(n_nodes=50, n_jobs=3000, mean_interarrival=0.1)
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        gaps = np.diff([0.0] + times)
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.1)
+
+    def test_work_distribution(self):
+        cfg, _, jobs = gen(n_nodes=50, n_jobs=3000, mean_work=100.0)
+        works = np.array([j.work for j in jobs])
+        assert works.min() >= cfg.min_work
+        assert np.mean(works) == pytest.approx(100.0, rel=0.1)
+
+    def test_client_attribution_follows_weights(self):
+        cfg, _, jobs = gen(n_nodes=50, n_jobs=4000,
+                           client_rate_weights=(4.0, 2.0, 1.0, 1.0))
+        counts = np.bincount([j.client_index for j in jobs], minlength=4)
+        fracs = counts / counts.sum()
+        assert fracs[0] == pytest.approx(0.5, abs=0.05)
+        assert fracs[1] == pytest.approx(0.25, abs=0.05)
+
+    def test_deterministic_given_seed(self):
+        _, _, a = gen(seed=5, n_nodes=20, n_jobs=50)
+        _, _, b = gen(seed=5, n_nodes=20, n_jobs=50)
+        assert a == b
+
+    def test_profile_construction(self):
+        _, _, jobs = gen(n_nodes=20, n_jobs=5)
+        p = jobs[0].profile(client_id=99)
+        assert p.client_id == 99
+        assert p.work == jobs[0].work
+
+
+class TestWorkloadConfig:
+    def test_scaled_keeps_offered_load(self):
+        cfg = WorkloadConfig()
+        small = cfg.scaled(0.25)
+        assert small.n_nodes == 250
+        assert small.n_jobs == 1250
+        # offered load = mean_work / (interarrival * n_nodes) is invariant.
+        base_load = cfg.mean_work / (cfg.mean_interarrival * cfg.n_nodes)
+        small_load = small.mean_work / (small.mean_interarrival * small.n_nodes)
+        assert small_load == pytest.approx(base_load)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(node_mode="exotic")
+        with pytest.raises(ValueError):
+            WorkloadConfig(constraint_prob=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_clients=2)  # weights length mismatch
+        with pytest.raises(ValueError):
+            WorkloadConfig().scaled(0.0)
+
+    def test_figure2_grid_covers_both_axes(self):
+        assert set(FIGURE2_SCENARIOS) == {
+            "clustered-light", "clustered-heavy", "mixed-light", "mixed-heavy"}
+        assert FIGURE2_SCENARIOS["mixed-light"].constraint_prob == 0.4
+        assert FIGURE2_SCENARIOS["clustered-heavy"].constraint_prob == 0.8
+
+    @settings(max_examples=20, deadline=None)
+    @given(prob=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(0, 100))
+    def test_feasibility_holds_for_any_constraint_prob(self, prob, seed):
+        _, nodes, jobs = gen(seed=seed, n_nodes=10, n_jobs=30,
+                             constraint_prob=prob, job_mode="mixed")
+        caps = [c for _, c in nodes]
+        for job in jobs:
+            assert any(satisfies(c, job.requirements) for c in caps)

@@ -21,10 +21,18 @@ def figure2_result():
 
 def test_fig2a_average_wait_clustered(benchmark):
     result = benchmark.pedantic(figure2_result, rounds=1, iterations=1)
-    save_report("figure2", result.report())
+    report = result.report()
+    save_report("figure2", report)
     assert_shapes(result.shape_checks())
     for level, rnt, can, cent in result.panel("clustered", "wait_mean"):
         assert cent <= min(rnt, can) + 1.0, (level, rnt, can, cent)
+    # The report carries the wait-time tail supplement, and the tail is
+    # ordered sanely in every cell.
+    assert "Wait-time tail percentiles" in report
+    for by_mm in result.values.values():
+        for s in by_mm.values():
+            assert s["wait_p50"] <= s["wait_p95"] <= s["wait_p99"] \
+                <= s["wait_max"] + 1e-9
 
 
 def test_fig2b_stdev_wait_clustered(benchmark):

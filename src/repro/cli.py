@@ -52,7 +52,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
                 lambda scale, seeds: run_figure2(scale=scale, seeds=seeds)),
     "hops": ("matchmaking cost table ('a small number of hops')",
              lambda scale, seeds: run_hops_experiment(scale=scale,
-                                                      seed=seeds[0])),
+                                                      seeds=seeds)),
     "pushing": ("load-aware pushing vs basic CAN",
                 lambda scale, seeds: run_pushing_experiment(scale=scale,
                                                             seeds=seeds)),
@@ -86,6 +86,27 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
                            scale=scale, seed=seeds[0])),
 }
 
+#: Experiments whose driver is inherently single-replicate: the CLI runs
+#: them with ``seeds[0]`` and *says so* when extra seeds are passed
+#: (they used to be dropped silently).
+SINGLE_SEED_EXPERIMENTS = frozenset({
+    "dht-scaling", "protocol", "ablation-vdim", "ablation-k", "ablation-ttl",
+    "fairness", "scaling", "tuning-heartbeat", "tuning-walk", "tuning-latency",
+})
+
+#: Experiments that can attach a telemetry stack: name -> runner taking
+#: (scale, seeds, telemetry).  Kept separate from :data:`EXPERIMENTS`
+#: so its entries stay plain ``(description, runner(scale, seeds))``
+#: pairs for external callers.
+TELEMETRY_RUNNERS: dict[str, Callable] = {
+    "figure2": lambda scale, seeds, tel: run_figure2(
+        scale=scale, seeds=seeds, telemetry=tel),
+    "hops": lambda scale, seeds, tel: run_hops_experiment(
+        scale=scale, seeds=seeds, telemetry=tel),
+    "pushing": lambda scale, seeds, tel: run_pushing_experiment(
+        scale=scale, seeds=seeds, telemetry=tel),
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -110,13 +131,71 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory to also write the report(s) into")
     run.add_argument("--check", action="store_true",
                      help="fail (exit 1) if the paper-shape checks fail")
+    run.add_argument("--telemetry", type=Path, default=None, metavar="PATH",
+                     help="attach the telemetry stack and export the "
+                          "span/metric stream as JSONL to PATH (supported "
+                          "for: " + ", ".join(sorted(TELEMETRY_RUNNERS)) + ")")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with full tracing and print the "
+             "observability report")
+    trace.add_argument("experiment", choices=sorted(TELEMETRY_RUNNERS),
+                       help="experiment id (telemetry-capable ones only)")
+    trace.add_argument("--scale", type=float, default=0.25,
+                       help="workload scale (default 0.25)")
+    trace.add_argument("--seeds", type=_parse_seeds, default=(1,),
+                       help="comma-separated replicate seeds (default: 1)")
+    trace.add_argument("--out", type=Path, default=None, metavar="PATH",
+                       help="also export the raw stream as JSONL to PATH")
+    trace.add_argument("--categories", type=str, default=None,
+                       help="comma-separated trace categories to keep "
+                            "(default: all; e.g. 'dht.lookup,job.match')")
+    trace.add_argument("--buffer", type=int, default=200_000,
+                       help="trace ring-buffer capacity in records "
+                            "(default 200000; oldest records drop first)")
     return parser
 
 
+def _check_writable(path: Path | None) -> bool:
+    """Fail fast on an unwritable telemetry path — *before* spending
+    minutes on the experiment whose trace would then be lost."""
+    if path is None:
+        return True
+    parent = path.parent if str(path.parent) else Path(".")
+    if not parent.is_dir():
+        print(f"error: cannot write telemetry to {path}: "
+              f"directory {parent} does not exist", file=sys.stderr)
+        return False
+    return True
+
+
+def _warn_extra_seeds(name: str, seeds: tuple[int, ...]) -> None:
+    if name in SINGLE_SEED_EXPERIMENTS and len(seeds) > 1:
+        print(f"warning: experiment '{name}' is single-replicate; "
+              f"running seed {seeds[0]} and ignoring {list(seeds[1:])}",
+              file=sys.stderr)
+
+
 def _run_one(name: str, scale: float, seeds: tuple[int, ...],
-             out: Path | None, check: bool) -> bool:
-    _desc, runner = EXPERIMENTS[name]
-    result = runner(scale, seeds)
+             out: Path | None, check: bool,
+             telemetry_out: Path | None = None) -> bool:
+    _warn_extra_seeds(name, seeds)
+    tel = None
+    if telemetry_out is not None:
+        if name in TELEMETRY_RUNNERS:
+            from repro.telemetry.core import Telemetry
+
+            tel = Telemetry(profile_kernel=True, sample_interval=10.0)
+            result = TELEMETRY_RUNNERS[name](scale, seeds, tel)
+        else:
+            print(f"warning: experiment '{name}' does not support "
+                  f"--telemetry; running without it", file=sys.stderr)
+            _desc, runner = EXPERIMENTS[name]
+            result = runner(scale, seeds)
+    else:
+        _desc, runner = EXPERIMENTS[name]
+        result = runner(scale, seeds)
     report = result.report()
     print(report)
     ok = True
@@ -131,7 +210,37 @@ def _run_one(name: str, scale: float, seeds: tuple[int, ...],
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{name}.txt").write_text(report + "\n")
         print(f"\n[written to {out / f'{name}.txt'}]")
+    if tel is not None:
+        tel.export_jsonl(telemetry_out)
+        n = len(tel.bus) + len(tel.final_records())
+        print(f"\n[telemetry: {n} records written to {telemetry_out}]")
+        if tel.profile is not None and tel.profile.runs:
+            from repro.telemetry.summary import kernel_profile_report
+
+            print()
+            print(kernel_profile_report(tel))
     return ok or not check
+
+
+def _run_trace(args) -> int:
+    from repro.telemetry.core import Telemetry
+    from repro.telemetry.summary import telemetry_report
+
+    if not _check_writable(args.out):
+        return 2
+    categories = None
+    if args.categories:
+        categories = {c.strip() for c in args.categories.split(",")
+                      if c.strip()}
+    tel = Telemetry(categories=categories, maxlen=args.buffer,
+                    profile_kernel=True, sample_interval=10.0)
+    TELEMETRY_RUNNERS[args.experiment](args.scale, args.seeds, tel)
+    print(telemetry_report(tel))
+    if args.out is not None:
+        tel.export_jsonl(args.out)
+        n = len(tel.bus) + len(tel.final_records())
+        print(f"\n[telemetry: {n} records written to {args.out}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -153,13 +262,18 @@ def _main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
         return 0
+    if args.command == "trace":
+        return _run_trace(args)
+    if not _check_writable(args.telemetry):
+        return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     all_ok = True
     for name in names:
         if len(names) > 1:
             print(f"\n=== {name} ===\n")
-        all_ok &= _run_one(name, args.scale, args.seeds, args.out, args.check)
+        all_ok &= _run_one(name, args.scale, args.seeds, args.out, args.check,
+                           telemetry_out=args.telemetry)
     return 0 if all_ok else 1
 
 

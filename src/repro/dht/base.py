@@ -81,6 +81,22 @@ class DHTOverlay(abc.ABC):
 
     def __init__(self) -> None:
         self.lookup_stats = LookupStats()
+        #: Optional :class:`repro.telemetry.core.Telemetry` sink, attached
+        #: by the matchmaker that owns this overlay when its grid has
+        #: telemetry enabled.  None keeps routing accounting local.
+        self.telemetry = None
+
+    @property
+    def proto_name(self) -> str:
+        """Short protocol tag for metric names (``chord``, ``can``, ...)."""
+        return type(self).__name__.removesuffix("Overlay").lower()
+
+    def note_route(self, result: RouteResult, op: str = "lookup") -> None:
+        """Account one routing operation (called by every ``route``)."""
+        self.lookup_stats.record(result)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.note_dht_lookup(self.proto_name, op, result)
 
     # -- membership ------------------------------------------------------
 

@@ -111,7 +111,7 @@ class CANOverlay(DHTOverlay):
         if start is None:
             result = RouteResult(False, None, 0)
             if record:
-                self.lookup_stats.record(result)
+                self.note_route(result)
             return result
         cur = start
         hops = 0
@@ -164,7 +164,7 @@ class CANOverlay(DHTOverlay):
                 break
         result = RouteResult(success, cur if success else None, hops, path)
         if record:
-            self.lookup_stats.record(result)
+            self.note_route(result)
         return result
 
     def zone_owner(self, point: Point) -> CANNode | None:

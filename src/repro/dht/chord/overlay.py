@@ -170,7 +170,7 @@ class ChordOverlay(DHTOverlay):
         if start is None:
             result = RouteResult(False, None, 0)
             if record:
-                self.lookup_stats.record(result)
+                self.note_route(result)
             return result
         # Generous bound: a healthy ring needs O(log N); a freshly-joined
         # node whose fingers all point at its successor may walk the ring
@@ -200,7 +200,7 @@ class ChordOverlay(DHTOverlay):
             path.append(cur.node_id)
         result = RouteResult(success, owner, hops, path)
         if record:
-            self.lookup_stats.record(result)
+            self.note_route(result)
         return result
 
     def successor_of(self, key: int) -> ChordNode | None:

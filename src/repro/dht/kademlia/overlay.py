@@ -116,7 +116,7 @@ class KademliaOverlay(DHTOverlay):
         if start is None:
             result = RouteResult(False, None, 0)
             if record:
-                self.lookup_stats.record(result)
+                self.note_route(result)
             return result
         shortlist: dict[int, KademliaNode] = {start.node_id: start}
         queried: set[int] = set()
@@ -156,7 +156,7 @@ class KademliaOverlay(DHTOverlay):
         result = RouteResult(owner is not None, owner, hops, path)
         result.k_closest = live_sorted[: self.k]  # type: ignore[attr-defined]
         if record:
-            self.lookup_stats.record(result)
+            self.note_route(result)
         return result
 
     def put(self, key: int, value, replicas: int | None = None) -> RouteResult:

@@ -143,7 +143,7 @@ class PastryOverlay(DHTOverlay):
             start = self._random_live()
         if start is None:
             result = RouteResult(False, None, 0)
-            self.lookup_stats.record(result)
+            self.note_route(result)
             return result
         key_digits = digits_of(key, bits=self.bits, b=self.b)
         cur = start
@@ -188,7 +188,7 @@ class PastryOverlay(DHTOverlay):
             hops += 1
             path.append(cur.node_id)
         result = RouteResult(success, cur if success else None, hops, path)
-        self.lookup_stats.record(result)
+        self.note_route(result)
         return result
 
     def replica_set(self, owner: PastryNode, key: int, replicas: int

@@ -77,7 +77,26 @@ class Figure2Result:
                 ]
                 parts.append(format_barchart(f"[panel {label[7:11]} bars]",
                                              groups, unit=" s"))
+        tails = self.tail_table()
+        if tails:
+            parts.append(tails)
         return "\n\n".join(parts)
+
+    def tail_table(self) -> str:
+        """Wait-time percentiles per cell — not in the paper's figure, but
+        the tail is where the CAN pathology lives; the mean understates it."""
+        headers = ["scenario", "matchmaker", "p50 (s)", "p95 (s)", "p99 (s)"]
+        rows = []
+        for scenario, by_mm in self.values.items():
+            for mm, summary in by_mm.items():
+                if "wait_p50" not in summary:
+                    return ""
+                rows.append([scenario, mm,
+                             round(summary["wait_p50"], 1),
+                             round(summary["wait_p95"], 1),
+                             round(summary["wait_p99"], 1)])
+        return format_table(headers, rows,
+                            title="Wait-time tail percentiles (supplement)")
 
     def shape_checks(self) -> dict[str, bool]:
         """The qualitative claims the reproduction must reproduce.
@@ -134,14 +153,16 @@ def scaled_scenarios(scale: float) -> dict[str, WorkloadConfig]:
 
 def run_figure2(scale: float = 0.25, seeds: tuple[int, ...] = (1,),
                 matchmakers: tuple[str, ...] = FIGURE2_MATCHMAKERS,
-                max_time: float = 1e6) -> Figure2Result:
+                max_time: float = 1e6, telemetry=None) -> Figure2Result:
     """Run the full Figure 2 grid.  ``scale=1.0`` is paper scale (1000
     nodes / 5000 jobs); smaller scales keep per-node utilization constant
-    (see :meth:`WorkloadConfig.scaled`)."""
+    (see :meth:`WorkloadConfig.scaled`).  ``telemetry`` attaches one
+    observability stack across every cell of the grid."""
     result = Figure2Result(scale=scale, seeds=seeds)
     for scenario, workload in scaled_scenarios(scale).items():
         result.values[scenario] = {}
         for mm in matchmakers:
             result.values[scenario][mm] = run_replicates(
-                workload, mm, seeds=seeds, max_time=max_time)
+                workload, mm, seeds=seeds, max_time=max_time,
+                telemetry=telemetry)
     return result

@@ -49,11 +49,13 @@ class PushingResult:
 
 
 def run_pushing_experiment(scale: float = 0.25, seeds: tuple[int, ...] = (1,),
-                           max_time: float = 1e6) -> PushingResult:
+                           max_time: float = 1e6,
+                           telemetry=None) -> PushingResult:
     workload = FIGURE2_SCENARIOS["mixed-light"].scaled(scale)
     result = PushingResult()
     for mm in ("can", "can-push", "centralized"):
-        s = run_replicates(workload, mm, seeds=seeds, max_time=max_time)
+        s = run_replicates(workload, mm, seeds=seeds, max_time=max_time,
+                           telemetry=telemetry)
         result.by_mm[mm] = s
         result.rows.append([
             mm,

@@ -70,13 +70,18 @@ def drive(grid: DesktopGrid, workload: WorkloadConfig,
 def run_workload(workload: WorkloadConfig, matchmaker: str, seed: int = 1,
                  grid_cfg: GridConfig | None = None,
                  mm_kwargs: dict[str, Any] | None = None,
-                 max_time: float = 1e6) -> RunOutcome:
-    """Run one (workload, matchmaker, seed) cell and summarize it."""
+                 max_time: float = 1e6, telemetry=None) -> RunOutcome:
+    """Run one (workload, matchmaker, seed) cell and summarize it.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) attaches the
+    observability stack to the grid for this run; metrics accumulate into
+    it across calls, so one instance can aggregate a whole sweep.
+    """
     nodes, stream = build_population(workload, seed)
     cfg = grid_cfg if grid_cfg is not None else GridConfig(seed=seed,
                                                            spec=workload.spec)
     grid = DesktopGrid(cfg, make_matchmaker(matchmaker, **(mm_kwargs or {})),
-                       nodes)
+                       nodes, telemetry=telemetry)
     finished = drive(grid, workload, stream, max_time=max_time)
     counts = grid.node_execution_counts()
     return RunOutcome(
@@ -95,14 +100,16 @@ def run_workload(workload: WorkloadConfig, matchmaker: str, seed: int = 1,
 def run_replicates(workload: WorkloadConfig, matchmaker: str,
                    seeds: tuple[int, ...] = (1, 2, 3),
                    mm_kwargs: dict[str, Any] | None = None,
-                   max_time: float = 1e6) -> dict[str, float]:
+                   max_time: float = 1e6, telemetry=None) -> dict[str, float]:
     """Mean-of-replicates summary over multiple seeds.
 
     ``wait_std`` is averaged across replicates (each replicate's stdev is
-    the within-run dispersion the paper plots), not pooled.
+    the within-run dispersion the paper plots), not pooled.  A shared
+    ``telemetry`` instance accumulates metrics over every replicate.
     """
     outcomes = [run_workload(workload, matchmaker, seed=s,
-                             mm_kwargs=mm_kwargs, max_time=max_time)
+                             mm_kwargs=mm_kwargs, max_time=max_time,
+                             telemetry=telemetry)
                 for s in seeds]
     keys = outcomes[0].summary.keys()
     agg = {k: float(np.mean([o.summary[k] for o in outcomes])) for k in keys}

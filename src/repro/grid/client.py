@@ -20,6 +20,11 @@ from repro.util.ids import guid_for
 if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.system import DesktopGrid
 
+#: Wait-time histogram edges (virtual seconds); wait times span several
+#: orders of magnitude across load levels, so the edges are log-spaced.
+WAIT_EDGES = (0.0, 0.5, 1, 2, 5, 10, 20, 50, 100, 200,
+              500, 1000, 2000, 5000, 10000)
+
 
 class Client:
     """A job submitter/collector endpoint."""
@@ -52,6 +57,13 @@ class Client:
         self._last_seen[job.guid] = self.grid.sim.now
         self.grid.trace.record(self.grid.sim.now, "submit",
                                job=job.name, attempt=job.attempt)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.metrics.counter("jobs.submitted").inc()
+            if "tel_job" not in job.extra:
+                job.extra["tel_job"] = tel.bus.begin_span(
+                    self.grid.sim.now, "job.lifecycle",
+                    job=job.name, client=self.name)
         self.grid.inject(job, client=self)
         if self.grid.cfg.client_resubmit_enabled:
             self._ensure_watch_task()
@@ -100,6 +112,14 @@ class Client:
         self.grid.trace.record(self.grid.sim.now, "complete",
                                job=job.name, state=job.state.value,
                                wait=job.wait_time)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.bus.end_span(job.extra.pop("tel_job", None),
+                             self.grid.sim.now, state=job.state.value,
+                             wait=job.wait_time, attempts=job.attempt)
+            tel.metrics.counter(f"jobs.{job.state.value}").inc()
+            tel.metrics.histogram("jobs.wait_time",
+                                  edges=WAIT_EDGES).observe(job.wait_time)
         self.grid.metrics.on_job_done(job)
         for callback in self.result_callbacks:
             callback(job)
@@ -129,6 +149,9 @@ class Client:
                 continue
             self.resubmissions += 1
             self.grid.metrics.on_resubmission(job)
+            tel = self.grid.telemetry
+            if tel.enabled:
+                tel.metrics.counter("jobs.resubmitted").inc()
             job.state = JobState.SUBMITTED
             job.owner_id = None
             job.run_node_id = None

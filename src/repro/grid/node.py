@@ -105,6 +105,13 @@ class GridNode:
         job.owner_route_hops += route_hops
         job.state = JobState.MATCHING
         self.owned[job.guid] = OwnedJob(job, None, sim.now)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.bus.end_span(job.extra.pop("tel_insert", None), sim.now,
+                             owner=self.name, hops=route_hops)
+            job.extra["tel_match"] = tel.bus.begin_span(
+                sim.now, "job.match", parent=job.extra.get("tel_job"),
+                job=job.name, owner=self.name)
         self._ensure_owner_tasks()
         self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
 
@@ -117,6 +124,11 @@ class GridNode:
         job.match_probes += result.probes
         job.pushes += result.pushes
         cfg = self.grid.cfg
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.note_match(self.grid.matchmaker.name, result.hops,
+                           result.probes, result.pushes,
+                           found=result.node is not None)
         if result.node is None:
             if retries_left > 0:
                 self.grid.sim.schedule(
@@ -131,6 +143,10 @@ class GridNode:
         self.grid.trace.record(self.grid.sim.now, "match", job=job.name,
                                run_node=result.node.name,
                                hops=result.hops, probes=result.probes)
+        if tel.enabled:
+            tel.bus.end_span(job.extra.pop("tel_match", None),
+                             self.grid.sim.now, run_node=result.node.name,
+                             hops=result.hops, probes=result.probes)
         rec = self.owned.get(job.guid)
         if rec is not None:
             rec.run_node_id = result.node.node_id
@@ -240,6 +256,12 @@ class GridNode:
         job.state = JobState.QUEUED
         job.enqueue_time = self.grid.sim.now
         self._last_ack[job.guid] = self.grid.sim.now
+        tel = self.grid.telemetry
+        if tel.enabled:
+            job.extra["tel_queue"] = tel.bus.begin_span(
+                self.grid.sim.now, "job.queue",
+                parent=job.extra.get("tel_job"), job=job.name,
+                node=self.name, depth=self.queue_len + 1)
         self.queue.append(job)
         self.grid.on_queue_change(self)
         self._ensure_runner_tasks()
@@ -289,6 +311,13 @@ class GridNode:
         job.executions += 1
         self.grid.trace.record(self.grid.sim.now, "start", job=job.name,
                                node=self.name, wait=job.wait_time)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.bus.end_span(job.extra.pop("tel_queue", None),
+                             self.grid.sim.now, node=self.name)
+            job.extra["tel_run"] = tel.bus.begin_span(
+                self.grid.sim.now, "job.run",
+                parent=job.extra.get("tel_job"), job=job.name, node=self.name)
         duration = self.execution_time(job)
         # Staging: input before, output after, over the configured link.
         # KB-scale I/O (the paper's workloads) makes this negligible; it is
@@ -325,6 +354,11 @@ class GridNode:
                 self.grid.cfg.sandbox.check_completion(job.profile)
             except SandboxViolation as exc:
                 failure = f"sandbox: {exc}"
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.bus.end_span(job.extra.pop("tel_run", None), self.grid.sim.now,
+                             node=self.name, failure=failure)
+            tel.metrics.counter("jobs.executed").inc()
         if failure is not None:
             self._fail_job(job, failure)
         else:
@@ -373,10 +407,18 @@ class GridNode:
         jobs = list(self.queue)
         if self.running is not None:
             jobs.append(self.running)
+        sent = 0
         for job in jobs:
             if job.owner_id is not None:
                 self.grid.network.send("heartbeat", self.node_id, job.owner_id,
                                        (job.guid, self.node_id))
+                sent += 1
+        tel = self.grid.telemetry
+        if sent and tel.enabled:
+            tel.metrics.counter("heartbeats.sent").inc(sent)
+            if tel.bus.wants("heartbeat"):
+                tel.bus.record(self.grid.sim.now, "heartbeat",
+                               node=self.name, jobs=sent)
 
     def _on_hb_ack(self, msg: Message) -> None:
         self._last_ack[msg.payload] = self.grid.sim.now

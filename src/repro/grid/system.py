@@ -20,6 +20,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.sim.kernel import Simulator
 from repro.sim.network import LatencyModel, Network
 from repro.sim.trace import NULL_TRACE, TraceRecorder
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.util.rng import RngStreams
 
 
@@ -105,15 +106,25 @@ class DesktopGrid:
 
     def __init__(self, cfg: GridConfig, matchmaker: Matchmaker,
                  capabilities: Sequence[tuple[str, Vector]],
-                 trace: "TraceRecorder | None" = None):
+                 trace: "TraceRecorder | None" = None,
+                 telemetry: "Telemetry | None" = None):
         self.cfg = cfg
         self.sim = Simulator()
-        self.trace = trace if trace is not None else NULL_TRACE
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if trace is not None:
+            self.trace = trace
+        elif self.telemetry.enabled:
+            # One buffer: legacy trace.record() calls and telemetry spans
+            # land in the same bus, so a single JSONL export has both.
+            self.trace = self.telemetry.bus
+        else:
+            self.trace = NULL_TRACE
         self.streams = RngStreams(cfg.seed)
         self.rng_protocol = self.streams["protocol"]
         self.network = Network(
             self.sim, self.streams["network"],
             LatencyModel(mean=cfg.mean_latency, jitter=cfg.latency_jitter),
+            telemetry=self.telemetry,
         )
         self.metrics = MetricsCollector()
         self.jobs: dict[int, Job] = {}
@@ -132,6 +143,7 @@ class DesktopGrid:
 
         self.matchmaker = matchmaker
         matchmaker.bind(self)
+        self.telemetry.bind(self)
 
     # ------------------------------------------------------------------
     # clients and submission
@@ -154,6 +166,11 @@ class DesktopGrid:
         (any node of the system), which routes it to its owner."""
         self.jobs[job.guid] = job
         injection = self._random_live_node()
+        tel = self.telemetry
+        if tel.enabled:
+            job.extra["tel_insert"] = tel.bus.begin_span(
+                self.sim.now, "job.insert",
+                parent=job.extra.get("tel_job"), job=job.name)
         delay = self.network.hop_latency()  # client -> injection node
         self.sim.schedule(delay, self._route_to_owner, job, injection, 5)
 
@@ -164,6 +181,11 @@ class DesktopGrid:
         if start is not None and not start.alive:
             start = self._random_live_node()
         owner, hops = self.matchmaker.find_owner(job, start=start)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.histogram("owner.route_hops").observe(hops)
+            if owner is None:
+                tel.metrics.counter("owner.route_failures").inc()
         if owner is None:
             if retries_left > 0:
                 self.sim.schedule(self.cfg.match_retry_backoff,

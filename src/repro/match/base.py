@@ -94,3 +94,14 @@ class Matchmaker(abc.ABC):
         if self.grid is None:
             raise RuntimeError(f"{type(self).__name__} is not bound to a grid")
         return self.grid
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _bind_overlay_telemetry(self, *overlays) -> None:
+        """Point owned overlays at the grid's telemetry sink (bind-time
+        helper).  No-op for grids without telemetry: overlays keep their
+        local LookupStats only."""
+        tel = getattr(self._require_grid(), "telemetry", None)
+        if tel is not None and tel.enabled:
+            for overlay in overlays:
+                overlay.telemetry = tel

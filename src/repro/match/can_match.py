@@ -69,6 +69,7 @@ class CANMatchmaker(CANResultStorage, Matchmaker):
         spec = grid.cfg.spec
         dims = spec.dims + (1 if self.use_virtual_dimension else 0)
         self.can = CANOverlay(grid.streams["can"], dims)
+        self._bind_overlay_telemetry(self.can)
         coord_rng = grid.streams["can-coords"]
         order = list(grid.node_list)
         coord_rng.shuffle(order)  # join order shouldn't track creation order

@@ -71,6 +71,9 @@ class PushingCANMatchmaker(CANMatchmaker):
     def refresh_load_info(self) -> None:
         """One soft-state diffusion round: every node recomputes its
         up-region estimates from its above-neighbors' last-round state."""
+        tel = self.grid.telemetry if self.grid is not None else None
+        if tel is not None and tel.enabled:
+            tel.metrics.counter("match.can-push.load_refresh_rounds").inc()
         grid = self._require_grid()
         rdims = grid.cfg.spec.dims
         prev = self._up_load

@@ -80,6 +80,12 @@ class CentralizedMatchmaker(Matchmaker):
         if self.server_mode and (self.server is None or not self.server.alive):
             return MatchResult(None)
         mask = self._caps.satisfying_mask(job.profile.requirements) & self._alive
+        tel = grid.telemetry
+        if tel.enabled:
+            # The oracle "examines" every live satisfying node; recording it
+            # makes the decentralized schemes' probe counts comparable.
+            tel.metrics.histogram("match.centralized.candidates").observe(
+                int(mask.sum()))
         if not mask.any():
             return MatchResult(None)
         loads = np.where(mask, self._loads, np.iinfo(np.int64).max)

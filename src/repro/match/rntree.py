@@ -68,6 +68,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         self.grid = grid
         self._rng = grid.streams["match"]
         self.chord = ChordOverlay(grid.streams["chord"])
+        self._bind_overlay_telemetry(self.chord)
         self.chord.build([n.node_id for n in grid.node_list])
         self._rebuild_tree()
 

@@ -36,6 +36,7 @@ class TTLWalkMatchmaker(ChordResultStorage, Matchmaker):
         self.grid = grid
         self._rng = grid.streams["match"]
         self.chord = ChordOverlay(grid.streams["chord"])
+        self._bind_overlay_telemetry(self.chord)
         self.chord.build([n.node_id for n in grid.node_list])
         if self._requested_ttl is None:
             self.ttl = max(4, 2 * max(1, (len(grid.node_list) - 1).bit_length()))

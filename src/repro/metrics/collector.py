@@ -77,6 +77,17 @@ class MetricsCollector:
         stats.extend(self.wait_times())
         return stats
 
+    def wait_percentiles(self, qs: tuple[float, ...] = (50, 95, 99)
+                         ) -> dict[str, float]:
+        """Exact wait-time percentiles (``{"wait_p50": ...}``).  The mean
+        hides the tail the paper's std-dev bars gesture at; p95/p99 name it
+        directly."""
+        waits = self.wait_times()
+        if not waits.size:
+            return {f"wait_p{q:g}": float("nan") for q in qs}
+        values = np.percentile(waits, qs)
+        return {f"wait_p{q:g}": float(v) for q, v in zip(qs, values)}
+
     def summary(self, node_loads: list[int] | None = None) -> dict[str, float]:
         waits = self.wait_times()
         hops = self.match_hops()
@@ -96,6 +107,7 @@ class MetricsCollector:
             "wait_mean": float(waits.mean()) if waits.size else float("nan"),
             "wait_std": float(waits.std()) if waits.size else float("nan"),
             "wait_max": float(waits.max()) if waits.size else float("nan"),
+            **self.wait_percentiles(),
             "match_hops_mean": float(hops.mean()) if hops.size else float("nan"),
             "match_cost_mean": float(cost.mean()) if cost.size else float("nan"),
             "owner_hops_mean": mean_of("owner_route_hops"),

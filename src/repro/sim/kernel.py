@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.profile import KernelProfile
 
 
 class EventHandle:
@@ -59,6 +63,10 @@ class Simulator:
         self.events_processed = 0
         self.events_scheduled = 0
         self._running = False
+        #: Opt-in event-loop profiling (see :mod:`repro.telemetry.profile`).
+        #: None keeps the original tight loop — the zero-overhead path is
+        #: one ``is None`` check per :meth:`run` call, not per event.
+        self.profile: "KernelProfile | None" = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -97,25 +105,64 @@ class Simulator:
         processed = 0
         heap = self._heap
         try:
-            while heap:
-                time, _seq, handle = heap[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(heap)
-                if handle.cancelled:
-                    continue
-                self.now = time
-                fn, args = handle.fn, handle.args
-                handle.cancel()  # mark fired; frees references
-                fn(*args)
-                processed += 1
-                self.events_processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
+            if self.profile is not None:
+                processed = self._run_profiled(until, max_events)
+            else:
+                while heap:
+                    time, _seq, handle = heap[0]
+                    if until is not None and time > until:
+                        break
+                    heapq.heappop(heap)
+                    if handle.cancelled:
+                        continue
+                    self.now = time
+                    fn, args = handle.fn, handle.args
+                    handle.cancel()  # mark fired; frees references
+                    fn(*args)
+                    processed += 1
+                    self.events_processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
         finally:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+        return processed
+
+    def _run_profiled(self, until: float | None, max_events: int | None) -> int:
+        """The :meth:`run` inner loop with per-callback-site accounting.
+
+        Identical event semantics to the fast loop — profiling reads wall
+        clock around each callback but never touches virtual time, event
+        order, or RNG streams, so results are bit-identical either way.
+        """
+        prof = self.profile
+        heap = self._heap
+        processed = 0
+        if len(heap) > prof.heap_peak:
+            prof.heap_peak = len(heap)
+        run_start = perf_counter()
+        while heap:
+            time, _seq, handle = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            fn, args = handle.fn, handle.args
+            handle.cancel()  # mark fired; frees references
+            site = getattr(fn, "__qualname__", None) or repr(fn)
+            t0 = perf_counter()
+            fn(*args)
+            prof.note(site, perf_counter() - t0)
+            if len(heap) > prof.heap_peak:
+                prof.heap_peak = len(heap)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        prof.note_run(processed, perf_counter() - run_start)
         return processed
 
     def step(self) -> bool:

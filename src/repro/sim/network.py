@@ -96,12 +96,16 @@ class Network:
     """
 
     def __init__(self, sim: Simulator, rng: np.random.Generator,
-                 latency: LatencyModel | None = None):
+                 latency: LatencyModel | None = None, telemetry=None):
         self.sim = sim
         self.rng = rng
         self.latency = latency or LatencyModel()
         self._endpoints: dict[int, Endpoint] = {}
         self.stats = NetworkStats()
+        #: Optional :class:`repro.telemetry.core.Telemetry` sink (None = off);
+        #: per-kind message counters plus (filtered-in) per-message events.
+        self.telemetry = telemetry if telemetry is not None \
+            and telemetry.enabled else None
 
     # -- membership ------------------------------------------------------
 
@@ -142,6 +146,12 @@ class Network:
                       send_time=self.sim.now)
         self.stats.sent += 1
         self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter(f"net.sent.{kind}").inc()
+            if tel.bus.wants("net.msg"):
+                tel.bus.record(self.sim.now, "net.msg", kind=kind,
+                               src=src, dst=dst)
         self.sim.schedule(self.hop_latency(), self._deliver, msg, on_delivered)
         return msg
 
@@ -150,8 +160,12 @@ class Network:
         dst_ep = self._endpoints.get(msg.dst)
         if dst_ep is None or not dst_ep.alive:
             self.stats.dropped_dead_dst += 1
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("net.dropped").inc()
             return
         self.stats.delivered += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("net.delivered").inc()
         dst_ep.handle_message(msg)
         if on_delivered is not None:
             on_delivered(msg)

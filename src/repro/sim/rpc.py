@@ -37,7 +37,7 @@ class RpcLayer:
     """
 
     def __init__(self, sim: Simulator, network: Network,
-                 default_timeout: float = 1.0):
+                 default_timeout: float = 1.0, telemetry=None):
         if default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
         self.sim = sim
@@ -47,6 +47,9 @@ class RpcLayer:
         self._pending: dict[int, tuple[Callable, EventHandle]] = {}
         self._handlers: dict[int, Callable] = {}
         self.stats = RpcStats()
+        #: Optional Telemetry sink; call/reply/timeout counters by method.
+        self.telemetry = telemetry if telemetry is not None \
+            and telemetry.enabled else None
 
     # -- server side -----------------------------------------------------
 
@@ -74,11 +77,16 @@ class RpcLayer:
         self._next_id += 1
         self.stats.calls += 1
         self.stats.by_method[method] = self.stats.by_method.get(method, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("rpc.calls").inc()
+            self.telemetry.metrics.counter(f"rpc.method.{method}").inc()
 
         def fire_timeout() -> None:
             if req_id in self._pending:
                 del self._pending[req_id]
                 self.stats.timeouts += 1
+                if self.telemetry is not None:
+                    self.telemetry.metrics.counter("rpc.timeouts").inc()
                 on_timeout()
 
         handle = self.sim.schedule(timeout or self.default_timeout, fire_timeout)
@@ -112,6 +120,8 @@ class RpcLayer:
                 on_reply, timeout_handle = pending
                 timeout_handle.cancel()
                 self.stats.replies += 1
+                if self.telemetry is not None:
+                    self.telemetry.metrics.counter("rpc.replies").inc()
                 on_reply(result)
             return True
         return False

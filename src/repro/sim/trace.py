@@ -1,49 +1,28 @@
-"""Structured event tracing.
+"""Structured event tracing (legacy shim over the telemetry bus).
 
-A :class:`TraceRecorder` collects ``(time, category, detail)`` records from
-any component that is handed one.  Tracing defaults to off (a no-op
-recorder) because at paper scale (thousands of jobs, millions of events)
-recording everything would dominate runtime; experiments switch on exactly
-the categories they analyse.
+Historically this module owned a bare ``TraceRecorder`` list; it is now
+folded into :class:`repro.telemetry.bus.TelemetryBus`, which adds
+hierarchical spans, an optional ``maxlen`` ring-buffer bound, and JSONL
+export.  ``TraceRecorder`` remains as the name grid components use for a
+plain event sink, and :data:`NULL_TRACE` stays a true zero-cost no-op:
+``record()`` starts with a single ``enabled`` check and returns before
+touching the detail dict.
+
+Tracing defaults to off (the shared no-op recorder) because at paper
+scale (thousands of jobs, millions of events) recording everything would
+dominate runtime; experiments switch on exactly the categories they
+analyse — see :mod:`repro.telemetry` for the category catalogue.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable
+from repro.telemetry.bus import NULL_BUS, TelemetryBus, TraceEvent, TraceRecord
 
-
-@dataclass(frozen=True)
-class TraceRecord:
-    time: float
-    category: str
-    detail: dict[str, Any]
-
-
-class TraceRecorder:
-    """Collects trace records, optionally filtered by category."""
-
-    def __init__(self, categories: Iterable[str] | None = None, enabled: bool = True):
-        self.enabled = enabled
-        self.categories = set(categories) if categories is not None else None
-        self.records: list[TraceRecord] = []
-
-    def record(self, time: float, category: str, **detail: Any) -> None:
-        if not self.enabled:
-            return
-        if self.categories is not None and category not in self.categories:
-            return
-        self.records.append(TraceRecord(time, category, detail))
-
-    def by_category(self, category: str) -> list[TraceRecord]:
-        return [r for r in self.records if r.category == category]
-
-    def clear(self) -> None:
-        self.records.clear()
-
-    def __len__(self) -> int:
-        return len(self.records)
-
+#: The event-trace sink grid components are handed.  One class: a
+#: TraceRecorder *is* a telemetry bus (same buffer, same filtering).
+TraceRecorder = TelemetryBus
 
 #: Shared do-nothing recorder for components constructed without tracing.
-NULL_TRACE = TraceRecorder(enabled=False)
+NULL_TRACE = NULL_BUS
+
+__all__ = ["NULL_TRACE", "TraceRecord", "TraceRecorder", "TraceEvent"]

@@ -1,0 +1,82 @@
+"""Grid-wide telemetry: span tracing, metrics, and kernel profiling.
+
+The paper's central claims — matchmaking in "a small number of hops",
+bounded aggregation overhead, recovery without client resubmission — are
+claims about *internal* behaviour.  This package makes that behaviour
+first-class observable without perturbing it:
+
+* :mod:`repro.telemetry.bus` — the span/event trace bus: simulator-time-
+  stamped records, hierarchical spans, category filtering, a bounded ring
+  buffer, JSONL export.
+* :mod:`repro.telemetry.registry` — named counters, gauges, and bucketed
+  histograms (O(1) per observation, bounded memory).
+* :mod:`repro.telemetry.profile` — opt-in event-loop profiling: events/sec
+  wall-clock, heap high-water mark, per-callback-site cumulative time.
+* :mod:`repro.telemetry.core` — the :class:`Telemetry` facade the grid and
+  CLI wire through every layer.
+* :mod:`repro.telemetry.summary` — text reports (hop distributions,
+  message budgets, kernel profile).
+
+Trace categories
+----------------
+Emitted by the instrumented layers (filter with ``categories=...``):
+
+=================  ========================================================
+category           meaning
+=================  ========================================================
+``submit``         client injected a job (event; detail: job, attempt)
+``job.lifecycle``  span: submission -> result at the client
+``job.insert``     span: injection-node routing to the owner (DHT hops)
+``job.match``      span: owner-side matchmaking, incl. retry backoff
+``job.queue``      span: waiting in the run node's queue
+``job.run``        span: execution (+ staging) on the run node
+``match``          run node chosen (event; detail: hops, probes)
+``start``          execution started (event; detail: wait)
+``complete``       result returned to the client (event; detail: state)
+``dht.lookup``     span (zero virtual duration): one overlay routing
+``load.sample``    periodic load sampler tick (live nodes, queue depths)
+``heartbeat``      one runner heartbeat round (event; detail: jobs)
+``recovery``       owner/run-node failure recovery triggered
+``crash``          a node crashed          (``recover``: it rejoined)
+``net.msg``        one network message sent (high volume; filter in)
+=================  ========================================================
+
+Determinism contract: every instrumentation site only *reads* simulation
+state; telemetry draws no randomness and schedules nothing except the
+deterministic, read-only load sampler — enabling full telemetry must not
+change any experiment result (enforced by
+``tests/telemetry/test_determinism.py``).
+"""
+
+from repro.telemetry.bus import (
+    NULL_BUS,
+    Span,
+    TelemetryBus,
+    TraceEvent,
+    load_jsonl,
+)
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.profile import KernelProfile
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.summary import telemetry_report
+
+__all__ = [
+    "NULL_BUS",
+    "NULL_TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfile",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "TelemetryBus",
+    "TraceEvent",
+    "load_jsonl",
+    "telemetry_report",
+]

@@ -1,0 +1,157 @@
+"""The :class:`Telemetry` facade: one object wired through every layer.
+
+A ``Telemetry`` bundles the three telemetry primitives —
+
+* :attr:`bus` — the span/event trace bus (:mod:`repro.telemetry.bus`),
+* :attr:`metrics` — the counters/gauges/histograms registry,
+* :attr:`profile` — the optional kernel wall-clock profile,
+
+— plus the grid-facing glue: a simulator clock binding (so layers without
+a clock, like DHT overlays, can stamp records), a periodic load sampler,
+and JSONL export that appends the final metrics snapshot and kernel
+profile summary after the trace records.
+
+The grid holds :data:`NULL_TELEMETRY` when none is supplied; every
+instrumentation site guards on ``telemetry.enabled`` first, so the
+default path costs one attribute load and one branch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.telemetry.bus import NULL_BUS, TelemetryBus
+from repro.telemetry.profile import KernelProfile
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dht.base import RouteResult
+    from repro.grid.system import DesktopGrid
+
+
+class Telemetry:
+    """Grid-wide telemetry: trace bus + metrics registry + kernel profile.
+
+    Parameters
+    ----------
+    categories:
+        Bus category filter (None = record everything).
+    maxlen:
+        Bus ring-buffer bound (None = unbounded).
+    enabled:
+        Master switch; a disabled Telemetry is a shared no-op.
+    profile_kernel:
+        Attach a :class:`KernelProfile` to every bound grid's simulator.
+    sample_interval:
+        Virtual-time period of the load sampler (queue depths, live
+        nodes); None disables sampling.  The sampler only *reads* grid
+        state and draws no randomness, so it cannot perturb results.
+    """
+
+    def __init__(self, categories: Iterable[str] | None = None,
+                 maxlen: int | None = None, enabled: bool = True,
+                 profile_kernel: bool = False,
+                 sample_interval: float | None = None):
+        self.bus = TelemetryBus(categories=categories, enabled=enabled,
+                                maxlen=maxlen) if enabled else NULL_BUS
+        self.metrics = MetricsRegistry()
+        self.profile: KernelProfile | None = \
+            KernelProfile() if (profile_kernel and enabled) else None
+        self.sample_interval = sample_interval
+        self._sim = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.bus.enabled
+
+    def now(self) -> float:
+        """Virtual time of the most recently bound simulator (0.0 unbound)."""
+        return self._sim.now if self._sim is not None else 0.0
+
+    # -- grid binding ----------------------------------------------------
+
+    def bind(self, grid: "DesktopGrid") -> None:
+        """Attach to a grid: clock, kernel profile, periodic load sampler.
+
+        Safe to call once per grid; a shared Telemetry accumulates across
+        sequential grids (e.g. every cell of an experiment sweep).
+        """
+        if not self.enabled:
+            return
+        self._sim = grid.sim
+        if self.profile is not None:
+            grid.sim.profile = self.profile
+        if self.sample_interval is not None:
+            # Deterministic phase (no RNG, no stagger): telemetry must
+            # observe, never perturb — see tests/telemetry/test_determinism.
+            from repro.sim.process import PeriodicTask
+
+            PeriodicTask(grid.sim, self.sample_interval,
+                         lambda: self._sample_load(grid), stagger=False)
+
+    def _sample_load(self, grid: "DesktopGrid") -> None:
+        live = [n for n in grid.node_list if n.alive]
+        depths = [n.queue_len for n in live]
+        total = sum(depths)
+        peak = max(depths) if depths else 0
+        m = self.metrics
+        m.gauge("grid.live_nodes").set(len(live))
+        m.gauge("grid.queue_depth.total").set(total)
+        m.gauge("grid.queue_depth.max").set(peak)
+        m.histogram("grid.queue_depth.sampled").observe(peak)
+        if self.bus.wants("load.sample"):
+            self.bus.record(grid.sim.now, "load.sample",
+                            live_nodes=len(live), queued=total, max_queue=peak)
+
+    # -- layer hooks (shared emit logic lives here, call sites stay thin) --
+
+    def note_dht_lookup(self, proto: str, op: str, result: "RouteResult") -> None:
+        """One overlay lookup: hop histogram + a zero-duration span (the
+        routing is structural; its latency is charged by the caller)."""
+        self.metrics.histogram(f"dht.{proto}.hops").observe(result.hops)
+        if not result.success:
+            self.metrics.counter(f"dht.{proto}.failed").inc()
+        if self.bus.wants("dht.lookup"):
+            self.bus.span(self.now(), "dht.lookup", proto=proto, op=op,
+                          hops=result.hops, ok=result.success)
+
+    def note_match(self, matchmaker: str, hops: int, probes: int,
+                   pushes: int, found: bool) -> None:
+        """One run-node search by any matchmaker."""
+        m = self.metrics
+        m.histogram(f"match.{matchmaker}.search_hops").observe(hops)
+        m.histogram(f"match.{matchmaker}.candidates").observe(probes)
+        if pushes:
+            m.counter(f"match.{matchmaker}.pushes").inc(pushes)
+        m.counter(f"match.{matchmaker}."
+                  f"{'found' if found else 'not_found'}").inc()
+
+    # -- export ----------------------------------------------------------
+
+    def final_records(self) -> list[dict[str, Any]]:
+        """Trailer records appended to a JSONL export."""
+        out: list[dict[str, Any]] = [
+            {"t": self.now(), "cat": "metrics.snapshot",
+             **self.metrics.snapshot()},
+        ]
+        if self.bus.dropped:
+            out.append({"t": self.now(), "cat": "trace.overflow",
+                        "dropped": self.bus.dropped,
+                        "kept": len(self.bus)})
+        if self.profile is not None:
+            out.append({"t": self.now(), "cat": "kernel.profile",
+                        **self.profile.summary(),
+                        "top_sites": [
+                            {"site": s, "calls": c, "seconds": round(t, 6)}
+                            for s, c, t in self.profile.top_sites()
+                        ]})
+        return out
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the trace plus metrics/profile trailers; returns lines."""
+        return self.bus.export_jsonl(path, extra_records=self.final_records())
+
+
+#: Shared no-op instance held by grids constructed without telemetry.
+NULL_TELEMETRY = Telemetry(enabled=False)

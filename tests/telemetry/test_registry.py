@@ -1,0 +1,95 @@
+"""MetricsRegistry: counters, gauges, histogram binning and percentiles."""
+
+import math
+
+import pytest
+
+from repro.telemetry import Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("net.sent.assign").inc()
+        reg.counter("net.sent.assign").inc(4)
+        assert reg.counter("net.sent.assign").value == 5
+
+    def test_gauge_tracks_high_water_mark(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("grid.queue_depth")
+        g.set(3)
+        g.set(9)
+        g.set(2)
+        assert g.value == 2
+        assert g.hwm == 9
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+
+class TestHistogramBinning:
+    def test_small_ints_bin_exactly(self):
+        h = Histogram("hops")
+        for v in (0, 1, 1, 2, 3, 3, 3):
+            h.observe(v)
+        labels = dict(h.nonzero_buckets())
+        assert labels == {"0": 1, "1": 2, "2": 1, "3": 3}
+
+    def test_overflow_bucket(self):
+        h = Histogram("hops", edges=(1, 2, 4))
+        h.observe(3)
+        h.observe(100)
+        labels = dict(h.nonzero_buckets())
+        assert labels["2..4"] == 1
+        assert labels["> 4"] == 1
+        assert h.max == 100
+
+    def test_mean_min_max(self):
+        h = Histogram("w")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.mean == 4.0
+        assert h.min == 2.0
+        assert h.max == 6.0
+
+    def test_percentiles_from_buckets(self):
+        h = Histogram("hops")
+        for v in [1] * 90 + [5] * 9 + [40]:
+            h.observe(v)
+        assert h.percentile(50) == 1
+        assert h.percentile(95) == 5
+        # p100 capped at the observed max, not the bucket edge (48).
+        assert h.percentile(100) == 40
+
+    def test_empty_histogram_is_nan(self):
+        h = Histogram("empty")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+        assert h.nonzero_buckets() == []
+
+
+class TestSnapshot:
+    def test_nested_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc(2)
+        reg.gauge("b.depth").set(7)
+        reg.histogram("c.hops").observe(3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.count": 2}
+        assert snap["gauges"]["b.depth"] == {"value": 7.0, "hwm": 7.0}
+        hist = snap["histograms"]["c.hops"]
+        assert hist["count"] == 1
+        assert hist["p50"] == 3
+
+    def test_prefix_views(self):
+        reg = MetricsRegistry()
+        reg.counter("net.sent.assign")
+        reg.counter("net.sent.result")
+        reg.counter("rpc.calls")
+        assert reg.names("net.sent.") == ["net.sent.assign", "net.sent.result"]
+        assert len(reg.counters("net.")) == 2

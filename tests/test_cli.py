@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import (
+    EXPERIMENTS,
+    SINGLE_SEED_EXPERIMENTS,
+    TELEMETRY_RUNNERS,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -56,3 +62,103 @@ class TestExecution:
                             ("desc", lambda scale, seeds: FakeResult()))
         assert main(["run", "ablation-k", "--check"]) == 1
         assert main(["run", "ablation-k"]) == 0  # informational without --check
+
+
+class _FakeResult:
+    def report(self):
+        return "fake report"
+
+
+class TestSeedPlumbing:
+    def test_single_seed_experiments_warn_on_extra_seeds(
+            self, capsys, monkeypatch):
+        assert "ablation-k" in SINGLE_SEED_EXPERIMENTS
+        monkeypatch.setitem(EXPERIMENTS, "ablation-k",
+                            ("desc", lambda scale, seeds: _FakeResult()))
+        assert main(["run", "ablation-k", "--seeds", "1,2,3"]) == 0
+        err = capsys.readouterr().err
+        assert "single-replicate" in err
+        assert "[2, 3]" in err
+
+    def test_no_warning_for_single_seed(self, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "ablation-k",
+                            ("desc", lambda scale, seeds: _FakeResult()))
+        assert main(["run", "ablation-k"]) == 0
+        assert "single-replicate" not in capsys.readouterr().err
+
+    def test_multi_seed_experiments_receive_all_seeds(self, monkeypatch):
+        got = {}
+
+        def fake_runner(scale, seeds):
+            got["seeds"] = seeds
+            return _FakeResult()
+
+        monkeypatch.setitem(EXPERIMENTS, "hops", ("desc", fake_runner))
+        assert main(["run", "hops", "--seeds", "4,5"]) == 0
+        assert got["seeds"] == (4, 5)
+
+    def test_hops_runner_forwards_every_seed(self, monkeypatch):
+        # The regression this guards: 'repro run hops --seeds 1,2,3' used
+        # to silently run only seed 1.
+        import repro.cli as cli_mod
+
+        seen = []
+        monkeypatch.setattr(
+            cli_mod, "run_hops_experiment",
+            lambda scale, seeds, **kw: seen.append(seeds) or _FakeResult())
+        _desc, runner = cli_mod.EXPERIMENTS["hops"]
+        runner(0.1, (1, 2, 3))
+        assert seen == [(1, 2, 3)]
+
+
+class TestTrace:
+    def test_trace_requires_telemetry_capable_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "churn"])
+
+    def test_trace_runs_and_exports(self, capsys, monkeypatch, tmp_path):
+        def fake_runner(scale, seeds, tel):
+            tel.bus.record(1.0, "job.match", job="j1")
+            tel.metrics.counter("jobs.submitted").inc()
+            return _FakeResult()
+
+        monkeypatch.setitem(TELEMETRY_RUNNERS, "hops", fake_runner)
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "hops", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Trace buffer" in text
+        assert out.exists()
+        from repro.telemetry import load_jsonl
+
+        cats = [r["cat"] for r in load_jsonl(out)]
+        assert "job.match" in cats
+        assert "metrics.snapshot" in cats
+
+    def test_trace_category_filter(self, monkeypatch):
+        captured = {}
+
+        def fake_runner(scale, seeds, tel):
+            captured["tel"] = tel
+            return _FakeResult()
+
+        monkeypatch.setitem(TELEMETRY_RUNNERS, "figure2", fake_runner)
+        assert main(["trace", "figure2",
+                     "--categories", "dht.lookup,job.match",
+                     "--buffer", "500"]) == 0
+        tel = captured["tel"]
+        assert tel.bus.categories == {"dht.lookup", "job.match"}
+        assert tel.bus.maxlen == 500
+
+    def test_unwritable_telemetry_path_fails_fast(self, capsys):
+        # Before the fix this crashed with a raw traceback *after* the
+        # whole experiment had already run.
+        assert main(["trace", "hops", "--out", "/nonexistent/d/x.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert main(["run", "hops",
+                     "--telemetry", "/nonexistent/d/x.jsonl"]) == 2
+
+    def test_run_telemetry_unsupported_warns(self, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "ablation-k",
+                            ("desc", lambda scale, seeds: _FakeResult()))
+        assert main(["run", "ablation-k", "--telemetry", "/tmp/x.jsonl"]) == 0
+        assert "does not support" in capsys.readouterr().err

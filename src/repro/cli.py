@@ -28,6 +28,7 @@ from repro.experiments import (
     run_figure2,
     run_hops_experiment,
     run_k_sweep_ablation,
+    run_matchpipe_ablation,
     run_protocol_experiment,
     run_pushing_experiment,
     run_scaling_experiment,
@@ -71,6 +72,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "ablation-ttl": ("TTL random walk vs structured matchmaking",
                      lambda scale, seeds: run_ttl_ablation(scale=scale,
                                                            seed=seeds[0])),
+    "ablation-matchpipe": ("selection policy × probe mode under churn",
+                           lambda scale, seeds: run_matchpipe_ablation(
+                               seeds=seeds)),
     "fairness": ("fair-share vs FIFO queueing extension",
                  lambda scale, seeds: run_fairness_experiment(seed=seeds[0])),
     "scaling": ("grid scalability: wait/cost vs N at constant load",
@@ -190,7 +194,7 @@ def _run_one(name: str, scale: float, seeds: tuple[int, ...],
             result = TELEMETRY_RUNNERS[name](scale, seeds, tel)
         else:
             print(f"warning: experiment '{name}' does not support "
-                  f"--telemetry; running without it", file=sys.stderr)
+                  "--telemetry; running without it", file=sys.stderr)
             _desc, runner = EXPERIMENTS[name]
             result = runner(scale, seeds)
     else:

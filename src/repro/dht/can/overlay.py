@@ -13,13 +13,11 @@ identical machines.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from repro.dht.base import DHTOverlay, RouteResult
 from repro.dht.can.node import CANNode, NeighborSet
-from repro.dht.can.space import Point, Zone, unit_zone, zone_distance
+from repro.dht.can.space import Point, Zone, unit_zone
 
 
 class CANOverlay(DHTOverlay):

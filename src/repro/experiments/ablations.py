@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.runner import build_population, drive, run_workload
+from repro.experiments.runner import build_population, run_workload
 from repro.grid.system import DesktopGrid, GridConfig
 from repro.match import make_matchmaker
 from repro.metrics.report import format_table
@@ -37,9 +37,9 @@ class VirtualDimResult:
         lines = [
             "Virtual-dimension ablation",
             "==========================",
-            f"CAN construction over *clustered* (identical) nodes without the "
+            "CAN construction over *clustered* (identical) nodes without the "
             f"virtual dimension fails: {self.clustered_construction_fails} "
-            f"(identical representative points cannot split a zone).",
+            "(identical representative points cannot split a zone).",
             "",
             format_table(
                 ["variant", "wait mean (s)", "wait stdev (s)", "completed"],

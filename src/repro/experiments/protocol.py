@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.dht.chord.protocol import ChordProtocolNetwork
 from repro.metrics.report import format_table
 from repro.sim.failure import CrashRecoveryProcess

@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.experiments.runner import build_population, drive
 from repro.grid.system import DesktopGrid, GridConfig
 from repro.match import make_matchmaker

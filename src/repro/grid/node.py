@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING
 from repro.grid.job import Job, JobState
 from repro.grid.resources import Vector
 from repro.grid.sandbox import SandboxViolation
+from repro.match.base import MatchResult
+from repro.match.select import CandidateSet, ProbeRound, oracle_select
 from repro.sim.kernel import EventHandle
 from repro.sim.network import Message
 from repro.sim.process import PeriodicTask
@@ -37,12 +39,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class OwnedJob:
     """Owner-side monitoring record for one job (profile replica + liveness)."""
 
-    __slots__ = ("job", "run_node_id", "last_heartbeat")
+    __slots__ = ("job", "run_node_id", "last_heartbeat", "probing")
 
     def __init__(self, job: Job, run_node_id: int | None, now: float):
         self.job = job
         self.run_node_id = run_node_id
         self.last_heartbeat = now
+        #: A liveness rpc to the run node is in flight (monitor sweep).
+        self.probing = False
 
 
 class GridNode:
@@ -116,51 +120,202 @@ class GridNode:
         self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
 
     def _match_and_dispatch(self, job: Job, retries_left: int) -> None:
-        """Run the matchmaker and ship the job to the chosen run node."""
+        """The two-phase matchmaking pipeline (see :mod:`repro.match.select`).
+
+        Phase 1 — the matchmaker's structural :meth:`~repro.match.base.
+        Matchmaker.search` returns candidates plus overlay hops.  Phase 2
+        — probe/select/dispatch — runs either synchronously on oracle
+        load reads (``probe_mode="oracle"``) or asynchronously over real
+        rpc probes with timeouts (``probe_mode="rpc"``).
+        """
         if job.is_done or not self._alive:
             return
-        result = self.grid.matchmaker.find_run_node(self, job)
-        job.match_hops += result.hops
-        job.match_probes += result.probes
-        job.pushes += result.pushes
-        cfg = self.grid.cfg
-        tel = self.grid.telemetry
-        if tel.enabled:
-            tel.note_match(self.grid.matchmaker.name, result.hops,
-                           result.probes, result.pushes,
-                           found=result.node is not None)
-        if result.node is None:
-            if retries_left > 0:
-                self.grid.sim.schedule(
-                    cfg.match_retry_backoff, self._match_and_dispatch,
-                    job, retries_left - 1,
-                )
-            else:
-                self._owner_fail_job(job, "no satisfying node found")
+        grid = self.grid
+        cset = grid.matchmaker.search(self, job)
+        job.match_hops += cset.hops
+        job.pushes += cset.pushes
+        if grid.cfg.probe_mode == "rpc":
+            # Charge the structural search's latency up front, then probe
+            # the candidates with real messages; selection completes when
+            # every probe has replied or timed out.
+            grid.sim.schedule(grid.route_delay(cset.hops + cset.pushes),
+                              self._probe_candidates, job, cset, retries_left)
             return
-        job.match_time = self.grid.sim.now
-        job.run_node_id = result.node.node_id
-        self.grid.trace.record(self.grid.sim.now, "match", job=job.name,
-                               run_node=result.node.name,
-                               hops=result.hops, probes=result.probes)
+        ranking, probes = oracle_select(grid, cset, grid.selection_policy,
+                                        grid.streams["match"])
+        job.match_probes += probes
+        tel = grid.telemetry
         if tel.enabled:
-            tel.bus.end_span(job.extra.pop("tel_match", None),
-                             self.grid.sim.now, run_node=result.node.name,
-                             hops=result.hops, probes=result.probes)
-        rec = self.owned.get(job.guid)
-        if rec is not None:
-            rec.run_node_id = result.node.node_id
-            rec.last_heartbeat = self.grid.sim.now
+            tel.note_match(grid.matchmaker.name, cset.hops, probes,
+                           cset.pushes, found=bool(ranking))
+        if not ranking:
+            self._retry_match(job, retries_left)
+            return
+        result = MatchResult(grid.nodes[ranking[0]], hops=cset.hops,
+                             probes=probes, pushes=cset.pushes)
+        self._note_selected(job, result.node, cset.hops, probes)
         # Matchmaking consumed overlay hops and candidate probes; charge
         # their latency before the job lands in the run node's queue.
-        delay = self.grid.match_delay(result)
-        self.grid.sim.schedule(delay, self._dispatch, job, result.node.node_id,
-                               retries_left)
+        delay = grid.match_delay(result)
+        grid.sim.schedule(delay, self._dispatch, job, ranking)
 
-    def _dispatch(self, job: Job, run_node_id: int, retries_left: int) -> None:
+    def _retry_match(self, job: Job, retries_left: int) -> None:
+        """No candidate selected: back off and re-match, or fail the job."""
+        if retries_left > 0:
+            self.grid.sim.schedule(
+                self.grid.cfg.match_retry_backoff, self._match_and_dispatch,
+                job, retries_left - 1,
+            )
+        else:
+            self._owner_fail_job(job, "no satisfying node found")
+
+    def _note_selected(self, job: Job, node: "GridNode", hops: int,
+                       probes: int) -> None:
+        """Bookkeeping once phase 2 picked a run node."""
+        now = self.grid.sim.now
+        job.match_time = now
+        job.run_node_id = node.node_id
+        self.grid.trace.record(now, "match", job=job.name,
+                               run_node=node.name, hops=hops, probes=probes)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.bus.end_span(job.extra.pop("tel_match", None), now,
+                             run_node=node.name, hops=hops, probes=probes)
+        rec = self.owned.get(job.guid)
+        if rec is not None:
+            rec.run_node_id = node.node_id
+            rec.last_heartbeat = now
+
+    # -- phase 2 in rpc mode: real probes, ranked selection ---------------
+
+    def _probe_candidates(self, job: Job, cset: CandidateSet,
+                          retries_left: int) -> None:
+        """Fan out rpc load probes to the policy's chosen targets.
+
+        A candidate that died after the structural search simply never
+        answers: its probe times out and it drops out of the ranking —
+        failure detection by message, not by oracle.
+        """
         if job.is_done or not self._alive:
             return
-        self.grid.network.send("assign", self.node_id, run_node_id, job)
+        grid = self.grid
+        targets = grid.selection_policy.probe_targets(
+            cset.candidates, grid.streams["match"])
+        if not targets:
+            self._select_and_dispatch(job, cset, {}, (), retries_left)
+            return
+        job.match_probes += len(targets)
+        tel = grid.telemetry
+        if tel.enabled:
+            tel.metrics.counter("match.probes.sent").inc(len(targets))
+        round_ = ProbeRound(targets)
+        for nid in targets:
+            grid.rpc.call(
+                self.node_id, nid, "probe", job.guid,
+                on_reply=lambda load, nid=nid: self._on_probe_result(
+                    job, cset, round_, nid, load, retries_left),
+                on_timeout=lambda nid=nid: self._on_probe_result(
+                    job, cset, round_, nid, None, retries_left),
+                timeout=grid.cfg.probe_timeout,
+            )
+
+    def _on_probe_result(self, job: Job, cset: CandidateSet,
+                         round_: ProbeRound, nid: int, load: int | None,
+                         retries_left: int) -> None:
+        done = round_.timeout(nid) if load is None else round_.reply(nid, load)
+        if done:
+            self._select_and_dispatch(job, cset, round_.loads, round_.failed,
+                                      retries_left)
+
+    def _select_and_dispatch(self, job: Job, cset: CandidateSet,
+                             loads: dict[int, int], failed, retries_left: int
+                             ) -> None:
+        """Rank the probe results and dispatch to the winner."""
+        if job.is_done or not self._alive:
+            return
+        if job.owner_id != self.node_id or job.state is not JobState.MATCHING:
+            return  # superseded (resubmitted / re-owned) while probing
+        grid = self.grid
+        tel = grid.telemetry
+        if failed and tel.enabled:
+            tel.metrics.counter("match.probes.timeouts").inc(len(failed))
+        ranking = grid.selection_policy.rank(
+            cset.candidates, loads, failed, grid.streams["match"],
+            tie_break=cset.tie_break)
+        if tel.enabled:
+            tel.note_match(grid.matchmaker.name, cset.hops,
+                           len(loads) + len(failed), cset.pushes,
+                           found=bool(ranking))
+        if not ranking:
+            self._retry_match(job, retries_left)
+            return
+        self._note_selected(job, grid.nodes[ranking[0]], cset.hops, len(loads))
+        self._dispatch(job, ranking)
+
+    # -- dispatch (plain or acknowledged) ---------------------------------
+
+    def _dispatch(self, job: Job, ranking: list[int]) -> None:
+        """Ship the job to ``ranking[0]``; the rest are ack-fallbacks."""
+        if job.is_done or not self._alive:
+            return
+        target = ranking[0]
+        if not self.grid.cfg.dispatch_ack:
+            self.grid.network.send("assign", self.node_id, target, job)
+            return
+        self.grid.rpc.call(
+            self.node_id, target, "assign", job,
+            on_reply=lambda ok: self._on_dispatch_ack(job, target, ok),
+            on_timeout=lambda: self._on_dispatch_timeout(job, ranking),
+            timeout=self.grid.cfg.probe_timeout,
+        )
+
+    def _on_dispatch_ack(self, job: Job, target: int, ok: bool) -> None:
+        """The run node confirmed (or refused) the assignment."""
+        if not ok:
+            return  # refused: the assignment was superseded; nothing to do
+        rec = self.owned.get(job.guid)
+        if rec is not None and rec.run_node_id == target:
+            rec.last_heartbeat = self.grid.sim.now  # the ack proves liveness
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.metrics.counter("dispatch.acks").inc()
+
+    def _on_dispatch_timeout(self, job: Job, ranking: list[int]) -> None:
+        """Ack timeout: the chosen run node died between probe and assign.
+
+        Fall back to the next-ranked candidate *immediately* — recovery in
+        one rpc timeout instead of ``heartbeat_interval × miss_limit``
+        waiting for the monitor sweep to notice the silence.
+        """
+        target = ranking[0]
+        if job.is_done or not self._alive:
+            return
+        if job.run_node_id != target or job.owner_id != self.node_id:
+            return  # superseded meanwhile (monitor sweep / re-own)
+        grid = self.grid
+        now = grid.sim.now
+        rec = self.owned.get(job.guid)
+        job.run_node_failures += 1
+        grid.trace.record(now, "recovery", kind="dispatch", job=job.name)
+        latency = now - rec.last_heartbeat if rec is not None else 0.0
+        grid.metrics.on_recovery("dispatch", job, latency=latency)
+        tel = grid.telemetry
+        if tel.enabled:
+            tel.metrics.counter("dispatch.ack_timeouts").inc()
+        rest = ranking[1:]
+        if rest:
+            job.run_node_id = rest[0]
+            if rec is not None:
+                rec.run_node_id = rest[0]
+                rec.last_heartbeat = now
+            self._dispatch(job, rest)
+        else:
+            job.state = JobState.MATCHING
+            job.run_node_id = None
+            if rec is not None:
+                rec.run_node_id = None
+                rec.last_heartbeat = now
+            self._match_and_dispatch(job, retries_left=grid.cfg.match_retries)
 
     def _owner_fail_job(self, job: Job, reason: str) -> None:
         job.state = JobState.FAILED
@@ -200,7 +355,13 @@ class GridNode:
         self._ensure_owner_tasks()
 
     def _monitor_owned(self) -> None:
-        """Periodic owner sweep: re-match jobs whose run node went silent."""
+        """Periodic owner sweep: challenge run nodes that went silent.
+
+        Suspicion (stale heartbeats) triggers a *message*, not an oracle
+        read: a ``has-job`` rpc to the suspect.  A positive reply means
+        heartbeats are merely delayed and refreshes the record; a negative
+        reply or timeout confirms the loss and the job is re-matched.
+        """
         if not self._alive:
             return
         cfg = self.grid.cfg
@@ -213,26 +374,49 @@ class GridNode:
                 continue
             if rec.run_node_id is None:
                 continue  # matchmaking still in flight
-            if now - rec.last_heartbeat > timeout:
-                run_node = self.grid.nodes.get(rec.run_node_id)
-                still_there = (
-                    run_node is not None and run_node.alive
-                    and run_node._has_job(job)
+            if now - rec.last_heartbeat > timeout and not rec.probing:
+                rec.probing = True
+                self.grid.rpc.call(
+                    self.node_id, rec.run_node_id, "has-job", job.guid,
+                    on_reply=lambda has, rec=rec: self._on_liveness_reply(
+                        rec, has),
+                    on_timeout=lambda rec=rec: self._on_liveness_timeout(rec),
+                    timeout=cfg.probe_timeout,
                 )
-                if still_there:
-                    # Heartbeats delayed, not dead; keep waiting.  (A real
-                    # owner can't see this, but its next heartbeat would
-                    # arrive before any recovery message round-trip anyway.)
-                    continue
-                job.run_node_failures += 1
-                self.grid.trace.record(now, "recovery", kind="run-node",
-                                       job=job.name)
-                job.state = JobState.MATCHING
-                job.run_node_id = None
-                rec.run_node_id = None
-                rec.last_heartbeat = now
-                self.grid.metrics.on_recovery("run-node", job)
-                self._match_and_dispatch(job, retries_left=cfg.match_retries)
+
+    def _liveness_settled(self, rec: OwnedJob) -> bool:
+        """True when a liveness-probe outcome is still actionable."""
+        rec.probing = False
+        return (self._alive and not rec.job.is_done
+                and self.owned.get(rec.job.guid) is rec)
+
+    def _on_liveness_reply(self, rec: OwnedJob, has_job: bool) -> None:
+        if not self._liveness_settled(rec):
+            return
+        if has_job:
+            # Heartbeats delayed, not dead; the reply doubles as one.
+            rec.last_heartbeat = self.grid.sim.now
+        else:
+            self._recover_run_node(rec)
+
+    def _on_liveness_timeout(self, rec: OwnedJob) -> None:
+        if self._liveness_settled(rec):
+            self._recover_run_node(rec)
+
+    def _recover_run_node(self, rec: OwnedJob) -> None:
+        """The run node is confirmed gone: re-run matchmaking."""
+        job = rec.job
+        now = self.grid.sim.now
+        job.run_node_failures += 1
+        self.grid.trace.record(now, "recovery", kind="run-node",
+                               job=job.name)
+        latency = now - rec.last_heartbeat
+        job.state = JobState.MATCHING
+        job.run_node_id = None
+        rec.run_node_id = None
+        rec.last_heartbeat = now
+        self.grid.metrics.on_recovery("run-node", job, latency=latency)
+        self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
 
     def _ensure_owner_tasks(self) -> None:
         cfg = self.grid.cfg
@@ -248,11 +432,14 @@ class GridNode:
     # ------------------------------------------------------------------
 
     def _on_assign(self, msg: Message) -> None:
-        job: Job = msg.payload
+        self._accept_assignment(msg.payload)
+
+    def _accept_assignment(self, job: Job) -> bool:
+        """Enqueue an assigned job; the return value is the dispatch ack."""
         if job.is_done or job.run_node_id != self.node_id:
-            return  # superseded assignment (owner re-matched elsewhere)
+            return False  # superseded assignment (owner re-matched elsewhere)
         if self._has_job(job):
-            return  # duplicate delivery
+            return True  # duplicate delivery; already accepted
         job.state = JobState.QUEUED
         job.enqueue_time = self.grid.sim.now
         self._last_ack[job.guid] = self.grid.sim.now
@@ -266,6 +453,22 @@ class GridNode:
         self.grid.on_queue_change(self)
         self._ensure_runner_tasks()
         self._maybe_start()
+        return True
+
+    def _on_rpc(self, msg: Message) -> None:
+        self.grid.rpc.handle_message(self.node_id, msg)
+
+    def _handle_rpc(self, method: str, payload, respond) -> None:
+        """Server side of the matchmaking pipeline's rpc vocabulary."""
+        if method == "probe":
+            respond(self.queue_len)
+        elif method == "assign":
+            respond(self._accept_assignment(payload))
+        elif method == "has-job":
+            job = self.grid.jobs.get(payload)
+            respond(job is not None and self._has_job(job))
+        else:
+            raise ValueError(f"unknown rpc method {method!r}")
 
     def _has_job(self, job: Job) -> bool:
         return job is self.running or job in self.queue
@@ -494,6 +697,21 @@ class GridNode:
             return
         self._alive = True
 
+    def partition(self) -> None:
+        """Become unreachable *without* losing state.
+
+        Unlike :meth:`crash`, the queue, the running job's completion
+        timer, owned-job records, and periodic tasks all survive — the
+        node simply stops sending or receiving messages (the network drops
+        traffic to and from dead endpoints).  Models a transient network
+        partition or laptop suspend, as opposed to a process death.
+        """
+        self._alive = False
+
+    def heal(self) -> None:
+        """Reconnect after :meth:`partition`, state intact."""
+        self._alive = True
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self._alive else "DOWN"
         return (f"GridNode({self.name!r}, {state}, cap={self.capability}, "
@@ -506,4 +724,6 @@ GridNode._HANDLERS = {
     "hb-ack": GridNode._on_hb_ack,
     "complete": GridNode._on_complete,
     "adopt-owner": GridNode._on_adopt,
+    "rpc-req": GridNode._on_rpc,
+    "rpc-rep": GridNode._on_rpc,
 }

@@ -8,7 +8,7 @@ simulation, read metrics.  See ``examples/quickstart.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.grid.client import Client
 from repro.grid.job import Job, JobState
@@ -16,9 +16,11 @@ from repro.grid.node import GridNode
 from repro.grid.resources import ResourceSpec, Vector
 from repro.grid.sandbox import SandboxPolicy
 from repro.match.base import Matchmaker, MatchResult
+from repro.match.select import POLICIES, make_policy
 from repro.metrics.collector import MetricsCollector
 from repro.sim.kernel import Simulator
 from repro.sim.network import LatencyModel, Network
+from repro.sim.rpc import RpcLayer
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.util.rng import RngStreams
@@ -51,6 +53,25 @@ class GridConfig:
     # Matchmaking retry when no satisfying node is found.
     match_retries: int = 3
     match_retry_backoff: float = 10.0
+
+    # Matchmaking phase 2: probe/select/dispatch (repro.match.select).
+    # ``probe_mode="oracle"`` keeps the historical zero-time load reads
+    # (latency charged after the fact; bit-identical to pre-pipeline
+    # results); ``"rpc"`` sends real request/reply probes with timeouts,
+    # so a candidate that died after the structural search surfaces as a
+    # timeout instead of oracle knowledge.
+    probe_mode: str = "oracle"
+    # Candidate-selection policy: "least-loaded" (paper default),
+    # "random", or "power-of-d" (probe only ``probe_fanout`` samples).
+    selection_policy: str = "least-loaded"
+    probe_fanout: int = 2
+    # RPC timeout (seconds) shared by load probes, dispatch acks, and the
+    # owner's run-node liveness checks.
+    probe_timeout: float = 1.0
+    # When set, "assign" is an acknowledged rpc: the run node confirms
+    # receipt, and on ack-timeout the owner immediately falls back to the
+    # next-ranked candidate instead of waiting for the monitor sweep.
+    dispatch_ack: bool = False
 
     # Result return path (§2): "the result can be returned to the client
     # as either a pointer to the result (another GUID) or as the result
@@ -88,6 +109,16 @@ class GridConfig:
             raise ValueError(f"bad result_return {self.result_return!r}")
         if self.staging_bandwidth_kbps <= 0:
             raise ValueError("staging_bandwidth_kbps must be positive")
+        if self.probe_mode not in ("oracle", "rpc"):
+            raise ValueError(f"bad probe_mode {self.probe_mode!r}")
+        if self.selection_policy not in POLICIES:
+            raise ValueError(
+                f"bad selection_policy {self.selection_policy!r}; "
+                f"choose from {sorted(POLICIES)}")
+        if self.probe_fanout < 1:
+            raise ValueError("probe_fanout must be >= 1")
+        if self.probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
 
 
 class DesktopGrid:
@@ -129,6 +160,15 @@ class DesktopGrid:
         self.metrics = MetricsCollector()
         self.jobs: dict[int, Job] = {}
         self.clients: dict[int, Client] = {}
+        #: Matchmaking phase-2 policy (shared by every matchmaker).
+        self.selection_policy = make_policy(cfg.selection_policy,
+                                            probe_fanout=cfg.probe_fanout)
+        #: Request/reply layer for load probes, dispatch acks, and
+        #: liveness checks (grid-unused when probe_mode="oracle" and
+        #: heartbeats are off — then it costs nothing).
+        self.rpc = RpcLayer(self.sim, self.network,
+                            default_timeout=cfg.probe_timeout,
+                            telemetry=self.telemetry)
 
         self.nodes: dict[int, GridNode] = {}
         self.node_list: list[GridNode] = []
@@ -140,6 +180,7 @@ class DesktopGrid:
             self.nodes[node.node_id] = node
             self.node_list.append(node)
             self.network.register(node)
+            self.rpc.serve(node.node_id, node._handle_rpc)
 
         self.matchmaker = matchmaker
         matchmaker.bind(self)
@@ -191,6 +232,19 @@ class DesktopGrid:
                 self.sim.schedule(self.cfg.match_retry_backoff,
                                   self._route_to_owner, job, None,
                                   retries_left - 1)
+                return
+            # Retries exhausted (the overlay is unreachable, e.g. mass
+            # failure): fail the job loudly instead of leaving it
+            # SUBMITTED forever, which made run_until_done spin to
+            # max_time.  The client is notified like any other failure.
+            job.state = JobState.FAILED
+            job.failure_reason = "owner routing failed"
+            self.trace.record(self.sim.now, "route-failed", job=job.name)
+            if tel.enabled:
+                tel.metrics.counter("owner.route_exhausted").inc()
+            # src -1 = the routing fabric itself; no single node speaks
+            # for a failed overlay route, but the client must still hear.
+            self.network.send("result", -1, job.profile.client_id, job)
             return
         self.sim.schedule(self.route_delay(hops), self._deliver_to_owner,
                           job, owner, hops, retries_left)
@@ -251,7 +305,8 @@ class DesktopGrid:
         node = self.nodes[node_id]
         if not node.alive:
             return
-        node._alive = False
+        node.partition()
+        self.trace.record(self.sim.now, "partition", node=node.name)
         self.matchmaker.on_crash(node)
 
     def heal_node(self, node_id: int) -> None:
@@ -259,7 +314,8 @@ class DesktopGrid:
         node = self.nodes[node_id]
         if node.alive:
             return
-        node._alive = True
+        node.heal()
+        self.trace.record(self.sim.now, "heal", node=node.name)
         self.matchmaker.on_join(node)
 
     def live_nodes(self) -> list[GridNode]:

@@ -6,6 +6,8 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.match.select import CandidateSet, oracle_select
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.job import Job
     from repro.grid.node import GridNode
@@ -60,8 +62,31 @@ class Matchmaker(abc.ABC):
         """
 
     @abc.abstractmethod
+    def search(self, owner: "GridNode", job: "Job") -> CandidateSet:
+        """Phase 1: structural search for run-node candidates from ``owner``.
+
+        Returns the satisfying candidates (in discovery order) plus the
+        overlay hops/pushes the search consumed.  Load probing and final
+        selection are phase 2, shared across matchmakers — see
+        :mod:`repro.match.select`.
+        """
+
     def find_run_node(self, owner: "GridNode", job: "Job") -> MatchResult:
-        """Find a run node satisfying ``job``'s requirements from ``owner``."""
+        """Find a run node satisfying ``job``'s requirements from ``owner``.
+
+        Convenience one-shot API: phase-1 :meth:`search` followed by
+        phase-2 oracle selection under the grid's configured policy.  The
+        grid's dispatch path drives the two phases separately (rpc-mode
+        probing is asynchronous); this method is the synchronous
+        equivalent and is what oracle-mode matchmaking uses.
+        """
+        grid = self._require_grid()
+        cset = self.search(owner, job)
+        ranking, probes = oracle_select(grid, cset, grid.selection_policy,
+                                        grid.streams["match"])
+        node = grid.nodes[ranking[0]] if ranking else None
+        return MatchResult(node, hops=cset.hops, probes=probes,
+                           pushes=cset.pushes)
 
     # -- membership churn (default: no structure to maintain) ---------------
 

@@ -23,7 +23,8 @@ from typing import TYPE_CHECKING
 
 from repro.dht.can import CANNode, CANOverlay
 from repro.grid.resources import dominates, satisfies
-from repro.match.base import Matchmaker, MatchResult
+from repro.match.base import Matchmaker
+from repro.match.select import CandidateSet
 from repro.match.storage import CANResultStorage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -113,28 +114,21 @@ class CANMatchmaker(CANResultStorage, Matchmaker):
     # run-node selection
     # ------------------------------------------------------------------
 
-    def find_run_node(self, owner: "GridNode", job) -> MatchResult:
+    def search(self, owner: "GridNode", job) -> CandidateSet:
         req = job.profile.requirements
         can_owner = self.can.nodes.get(owner.node_id)
         if can_owner is None or not can_owner.alive:
-            return MatchResult(None)
+            return CandidateSet()
         anchor, climb_hops = self._climb_to_satisfying(can_owner, req)
         if anchor is None:
-            return MatchResult(None, hops=climb_hops)
-        return self._pick_among_candidates(anchor, req, extra_hops=climb_hops)
+            return CandidateSet(hops=climb_hops)
+        return self._candidate_set(anchor, req, extra_hops=climb_hops)
 
-    def _pick_among_candidates(self, anchor: CANNode, req,
-                               extra_hops: int = 0, pushes: int = 0) -> MatchResult:
-        grid = self._require_grid()
-        candidates = self._candidates(anchor, req)
-        if not candidates:
-            return MatchResult(None, hops=extra_hops, pushes=pushes)
-        loads = [(grid.nodes[c.node_id].queue_len, c.node_id) for c in candidates]
-        best = min(load for load, _ in loads)
-        winners = [nid for load, nid in loads if load == best]
-        choice = winners[int(self._rng.integers(0, len(winners)))]
-        return MatchResult(grid.nodes[choice], hops=extra_hops,
-                           probes=len(candidates), pushes=pushes)
+    def _candidate_set(self, anchor: CANNode, req,
+                       extra_hops: int = 0, pushes: int = 0) -> CandidateSet:
+        return CandidateSet(
+            candidates=[c.node_id for c in self._candidates(anchor, req)],
+            hops=extra_hops, pushes=pushes)
 
     def _candidates(self, anchor: CANNode, req) -> list[CANNode]:
         """The anchor (if satisfying) plus its satisfying neighbors that

@@ -30,8 +30,8 @@ from __future__ import annotations
 import math
 
 from repro.dht.can import CANNode
-from repro.match.base import MatchResult
 from repro.match.can_match import CANMatchmaker
+from repro.match.select import CandidateSet
 from repro.sim.process import PeriodicTask
 
 
@@ -109,16 +109,21 @@ class PushingCANMatchmaker(CANMatchmaker):
     # run-node selection with pushing
     # ------------------------------------------------------------------
 
-    def find_run_node(self, owner, job) -> MatchResult:
+    def search(self, owner, job) -> CandidateSet:
         grid = self._require_grid()
         req = job.profile.requirements
         can_owner = self.can.nodes.get(owner.node_id)
         if can_owner is None or not can_owner.alive:
-            return MatchResult(None)
+            return CandidateSet()
         anchor, hops = self._climb_to_satisfying(can_owner, req)
         if anchor is None:
-            return MatchResult(None, hops=hops)
+            return CandidateSet(hops=hops)
 
+        # The push decision consumes the *diffused* soft-state load
+        # estimates (refreshed every load_refresh_interval), so it stays a
+        # phase-1 search heuristic even under rpc probing: the candidate
+        # loads read here stand in for the gossiped state basic CAN
+        # matchmaking already assumes, not for a fresh probe.
         pushes = 0
         while pushes < self.max_pushes:
             candidates = self._candidates(anchor, req)
@@ -134,8 +139,8 @@ class PushingCANMatchmaker(CANMatchmaker):
                 break
             anchor = nxt
             pushes += 1
-        return self._pick_among_candidates(anchor, req, extra_hops=hops,
-                                           pushes=pushes)
+        return self._candidate_set(anchor, req, extra_hops=hops,
+                                   pushes=pushes)
 
     def _lightest_up_region(self, node: CANNode) -> tuple[int | None, float]:
         ests = self._up_load.get(node.node_id)
@@ -150,7 +155,6 @@ class PushingCANMatchmaker(CANMatchmaker):
         above = self._above_neighbors(node, dim)
         if not above:
             return None
-        rdims = grid.cfg.spec.dims
 
         def onward(nb: CANNode) -> float:
             """Neighbor's own queue blended with its best onward estimate."""

@@ -16,7 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grid.resources import CapabilityMatrix
-from repro.match.base import Matchmaker, MatchResult
+from repro.match.base import Matchmaker
+from repro.match.select import CandidateSet
 
 
 class CentralizedMatchmaker(Matchmaker):
@@ -75,10 +76,16 @@ class CentralizedMatchmaker(Matchmaker):
 
     # -- run-node selection ----------------------------------------------------
 
-    def find_run_node(self, owner, job) -> MatchResult:
+    def search(self, owner, job) -> CandidateSet:
+        """Every live satisfying node, in index order, at zero overlay
+        cost.  ``charge_probes=False``: the central index already knows
+        every load, so oracle-mode accounting reports zero probes (the
+        paper's point is precisely that this knowledge is free only for a
+        centralized scheme — under ``probe_mode="rpc"`` the probes become
+        real messages and the cost becomes visible)."""
         grid = self._require_grid()
         if self.server_mode and (self.server is None or not self.server.alive):
-            return MatchResult(None)
+            return CandidateSet(charge_probes=False)
         mask = self._caps.satisfying_mask(job.profile.requirements) & self._alive
         tel = grid.telemetry
         if tel.enabled:
@@ -86,13 +93,11 @@ class CentralizedMatchmaker(Matchmaker):
             # makes the decentralized schemes' probe counts comparable.
             tel.metrics.histogram("match.centralized.candidates").observe(
                 int(mask.sum()))
-        if not mask.any():
-            return MatchResult(None)
-        loads = np.where(mask, self._loads, np.iinfo(np.int64).max)
-        best = loads.min()
-        winners = np.flatnonzero(loads == best)
-        idx = int(winners[self._rng.integers(0, winners.size)])
-        return MatchResult(grid.node_list[idx])
+        node_list = grid.node_list
+        return CandidateSet(
+            candidates=[node_list[int(i)].node_id
+                        for i in np.flatnonzero(mask)],
+            charge_probes=False)
 
     # -- bookkeeping -------------------------------------------------------------
 

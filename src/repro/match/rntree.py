@@ -27,7 +27,8 @@ from typing import TYPE_CHECKING
 
 from repro.dht.chord import ChordOverlay
 from repro.grid.resources import satisfies
-from repro.match.base import Matchmaker, MatchResult
+from repro.match.base import Matchmaker
+from repro.match.select import CandidateSet
 from repro.match.storage import ChordResultStorage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -128,8 +129,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
     # run-node search
     # ------------------------------------------------------------------
 
-    def find_run_node(self, owner: "GridNode", job) -> MatchResult:
-        grid = self._require_grid()
+    def search(self, owner: "GridNode", job) -> CandidateSet:
         req = job.profile.requirements
         hops = 0
 
@@ -144,14 +144,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
 
         candidates, search_hops = self._extended_search(cur_id, req, self.k)
         hops += search_hops
-        if not candidates:
-            return MatchResult(None, hops=hops)
-        # Probe every candidate's queue; least-loaded wins, ties random.
-        loads = [(grid.nodes[c].queue_len, c) for c in candidates]
-        best = min(load for load, _ in loads)
-        winners = [c for load, c in loads if load == best]
-        choice = winners[int(self._rng.integers(0, len(winners)))]
-        return MatchResult(grid.nodes[choice], hops=hops, probes=len(candidates))
+        return CandidateSet(candidates=candidates, hops=hops)
 
     def _random_neighbor(self, node_id: int) -> int | None:
         """A uniformly random live finger of ``node_id`` (walk step)."""

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from repro.dht.chord import ChordOverlay
 from repro.grid.resources import satisfies
-from repro.match.base import Matchmaker, MatchResult
+from repro.match.base import Matchmaker
+from repro.match.select import CandidateSet
 from repro.match.storage import ChordResultStorage
 
 
@@ -51,26 +52,39 @@ class TTLWalkMatchmaker(ChordResultStorage, Matchmaker):
             return None, result.hops
         return grid.nodes[result.owner.node_id], result.hops
 
-    def find_run_node(self, owner, job) -> MatchResult:
+    def search(self, owner, job) -> CandidateSet:
+        """Walk until a lightly-loaded satisfying node is found or the TTL
+        expires.  The early-accept check reads loads *during* the walk —
+        that is the walk's own termination rule (each visited node knows
+        its own queue), so it stays in phase 1; the visit-ordered
+        satisfying nodes become the candidate set and the shared phase-2
+        pipeline picks the least loaded with deterministic first-visited
+        tie-breaking (``tie_break="first"``), preserving the historical
+        walk semantics.  ``charge_probes=False``: visiting a node already
+        paid the message that learned its load."""
         grid = self._require_grid()
         req = job.profile.requirements
         cur = self.chord.nodes.get(owner.node_id)
         if cur is None or not cur.alive:
-            return MatchResult(None)
+            return CandidateSet(charge_probes=False, tie_break="first")
         visited: set[int] = set()
-        best_id: int | None = None
-        best_load = float("inf")
+        candidates: list[int] = []
         hops = 0
         for step in range(self.ttl + 1):
             if cur.node_id not in visited:
                 visited.add(cur.node_id)
                 gnode = grid.nodes[cur.node_id]
                 if gnode.alive and satisfies(gnode.capability, req):
-                    load = gnode.queue_len
-                    if load <= self.accept_queue:
-                        return MatchResult(gnode, hops=hops)
-                    if load < best_load:
-                        best_id, best_load = cur.node_id, load
+                    candidates.append(cur.node_id)
+                    if gnode.queue_len <= self.accept_queue:
+                        # Acceptably idle: stop the walk here.  Every
+                        # earlier candidate has a strictly longer queue
+                        # (it failed this check), so this node is the
+                        # strict least-loaded of the set and phase 2
+                        # selects it; the earlier ones stay as fallbacks.
+                        return CandidateSet(candidates=candidates,
+                                            hops=hops, charge_probes=False,
+                                            tie_break="first")
             if step == self.ttl:
                 break
             nxt = self._walk_step(cur, visited)
@@ -78,9 +92,9 @@ class TTLWalkMatchmaker(ChordResultStorage, Matchmaker):
                 break
             cur = nxt
             hops += 1
-        if best_id is not None:
-            return MatchResult(grid.nodes[best_id], hops=hops)
-        return MatchResult(None, hops=hops)  # may fail despite feasible nodes
+        # May be empty despite feasible nodes — the failure mode §4 notes.
+        return CandidateSet(candidates=candidates, hops=hops,
+                            charge_probes=False, tie_break="first")
 
     def _walk_step(self, cur, visited):
         """Uniform random live finger, preferring unvisited ones."""

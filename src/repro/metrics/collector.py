@@ -23,6 +23,9 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.done: list[Job] = []
         self.recoveries: Counter[str] = Counter()
+        #: Per-kind recovery latencies: virtual seconds from the run node's
+        #: last sign of life to the owner acting on its loss.
+        self.recovery_latencies: dict[str, list[float]] = {}
         self.resubmissions = 0
 
     # -- event hooks (called by the grid/protocol layer) -------------------
@@ -30,8 +33,11 @@ class MetricsCollector:
     def on_job_done(self, job: Job) -> None:
         self.done.append(job)
 
-    def on_recovery(self, kind: str, job: Job) -> None:
+    def on_recovery(self, kind: str, job: Job,
+                    latency: float | None = None) -> None:
         self.recoveries[kind] += 1
+        if latency is not None:
+            self.recovery_latencies.setdefault(kind, []).append(latency)
 
     def on_resubmission(self, job: Job) -> None:
         self.resubmissions += 1
@@ -115,8 +121,16 @@ class MetricsCollector:
             "pushes_mean": mean_of("pushes"),
             "recoveries_run_node": float(self.recoveries.get("run-node", 0)),
             "recoveries_owner": float(self.recoveries.get("owner", 0)),
+            "recoveries_dispatch": float(self.recoveries.get("dispatch", 0)),
             "resubmissions": float(self.resubmissions),
         }
+        all_latencies = [v for vals in self.recovery_latencies.values()
+                         for v in vals]
+        # 0.0 (not nan) when no recovery happened: keeps summaries of
+        # identical runs equal (nan != nan) and reads as "nothing to
+        # recover" in churn-free experiments.
+        out["recovery_latency_mean"] = (
+            float(np.mean(all_latencies)) if all_latencies else 0.0)
         if node_loads is not None:
             out["load_fairness"] = jains_fairness(node_loads)
         return out

@@ -175,7 +175,7 @@ class MetricsRegistry:
             metric = self._metrics[name] = Histogram(name, edges)
         elif type(metric) is not Histogram:
             raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
-                            f"not a Histogram")
+                            "not a Histogram")
         return metric
 
     # -- views -----------------------------------------------------------

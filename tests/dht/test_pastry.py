@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.dht.pastry import PastryNode, PastryOverlay
 from repro.dht.pastry.node import circular_distance, digits_of, shared_prefix_len
@@ -143,7 +143,6 @@ class TestChurn:
         res = ov.route(newcomer.node_id)
         assert res.owner is newcomer
         # Its ring neighbors list it in their leaf sets.
-        oracle = ov.owner_oracle((newcomer.node_id + 1) & ((1 << 64) - 1))
         neighbors = ov._leaf_neighborhood(newcomer.node_id)
         assert any(newcomer in ov.nodes[nid].leaf_set() for nid in neighbors)
 

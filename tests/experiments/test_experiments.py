@@ -16,12 +16,14 @@ from repro.experiments import (
     run_figure2,
     run_hops_experiment,
     run_k_sweep_ablation,
+    run_matchpipe_ablation,
     run_pushing_experiment,
     run_ttl_ablation,
     run_virtual_dimension_ablation,
     run_workload,
 )
 from repro.experiments.churn import ChurnConfig
+from repro.experiments.matchpipe import MatchPipeConfig
 from repro.experiments.figure2 import FIGURE2_MATCHMAKERS
 from repro.workloads.spec import FIGURE2_SCENARIOS
 
@@ -122,6 +124,23 @@ class TestChurn:
         assert p2p["recoveries_run_node"] + p2p["recoveries_owner"] > 0
         assert srv["resubmissions"] >= p2p["resubmissions"]
         assert "Robustness under churn" in result.report()
+
+
+class TestMatchPipe:
+    def test_policy_and_mode_sweep(self):
+        cc = MatchPipeConfig(n_nodes=50, n_jobs=100, max_time=20000.0)
+        result = run_matchpipe_ablation(cc, seeds=(1,))
+        assert len(result.by_cell) == 6  # 2 probe modes x 3 policies
+        for cell in result.by_cell.values():
+            assert cell["completed_frac"] > 0.9
+        # Probing beats blind placement in both probe modes.
+        for mode in ("oracle", "rpc"):
+            assert result.by_cell[(mode, "least-loaded")]["wait_mean"] \
+                < result.by_cell[(mode, "random")]["wait_mean"]
+        # random never probes; least-loaded probes every candidate.
+        assert result.by_cell[("rpc", "random")]["probes_mean"] == 0.0
+        assert result.by_cell[("rpc", "least-loaded")]["probes_mean"] > 0
+        assert "Matchmaking pipeline ablation" in result.report()
 
 
 class TestDHTScaling:

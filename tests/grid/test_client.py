@@ -76,6 +76,33 @@ class TestSubmission:
 
 class TestResubmissionWatchdog:
     def test_abandons_after_max_attempts(self):
+        # Silence without routing failure: the grid stays up (so every
+        # resubmission routes to an owner) but status relay is off, so the
+        # client hears nothing until the (slow) job finishes — which the
+        # watchdog's patience does not cover.
+        cfg = GridConfig(seed=7, heartbeats_enabled=True,
+                         heartbeat_interval=1.0,
+                         relay_status_to_client=False,
+                         client_resubmit_enabled=True,
+                         client_check_interval=2.0,
+                         client_timeout=5.0,
+                         client_max_attempts=2,
+                         match_retries=0,
+                         match_retry_backoff=1.0)
+        grid = make_small_grid(cfg=cfg, n_nodes=4)
+        client = grid.client("c")
+        job = make_job(client, "hopeless", work=500.0)
+        grid.submit_at(0.0, client, job)
+        grid.run(until=100.0)
+        assert job.state is JobState.LOST
+        assert job.attempt > 2
+        assert job.guid not in client.pending
+        assert job in grid.metrics.lost()
+
+    def test_dead_grid_fails_fast_not_silently(self):
+        # Routing failure is *reported*: with every node dead, injection
+        # exhausts its retries and the job comes back FAILED promptly —
+        # not stuck in SUBMITTED until the watchdog gives up.
         cfg = GridConfig(seed=7, heartbeats_enabled=True,
                          heartbeat_interval=1.0,
                          relay_status_to_client=True,
@@ -86,18 +113,16 @@ class TestResubmissionWatchdog:
                          match_retries=0,
                          match_retry_backoff=1.0)
         grid = make_small_grid(cfg=cfg, n_nodes=4)
+        for node in list(grid.node_list):
+            grid.crash_node(node.node_id)
         client = grid.client("c")
         job = make_job(client, "hopeless", work=30.0)
         grid.submit_at(0.0, client, job)
-        grid.run(until=2.0)
-        # Annihilate the entire grid: nothing can ever finish this job.
-        for node in list(grid.node_list):
-            grid.crash_node(node.node_id)
-        grid.run(until=200.0)
-        assert job.state is JobState.LOST
-        assert job.attempt > 2
+        grid.run(until=60.0)
+        assert job.state is JobState.FAILED
+        assert job.failure_reason == "owner routing failed"
         assert job.guid not in client.pending
-        assert job in grid.metrics.lost()
+        assert job in grid.metrics.failed()
 
     def test_no_resubmission_while_status_flows(self):
         cfg = GridConfig(seed=7, heartbeats_enabled=True,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.grid.dag import DagCycleError, DagJobKind, DagScheduler
+from repro.grid.dag import DagJobKind, DagScheduler
 from repro.grid.job import JobState
 
 from tests.conftest import make_small_grid

@@ -67,6 +67,50 @@ class TestMembership:
         grid.heal_node(node.node_id)
         assert node.alive
 
+    def test_partition_vs_crash_semantics(self):
+        # Same starting point, opposite volatile-state outcomes: a
+        # partition keeps the queue and the running job's completion
+        # timer; a crash wipes everything.
+        def loaded_node():
+            grid = make_small_grid(n_nodes=1)
+            client = grid.client("c")
+            for i in range(3):
+                job = Job(profile=JobProfile(name=f"vol-{i}",
+                                             client_id=client.node_id,
+                                             requirements=(0.0, 0.0, 0.0),
+                                             work=100.0))
+                grid.submit_at(0.0, client, job)
+            grid.run(until=5.0)
+            return grid, grid.node_list[0]
+
+        grid, node = loaded_node()
+        grid.partition_node(node.node_id)
+        assert not node.alive
+        assert node.queue_len == 3          # queue survives
+        assert node.running is not None     # execution continues
+        assert node._completion is not None
+        grid.heal_node(node.node_id)
+        assert node.alive and node.queue_len == 3
+
+        grid, node = loaded_node()
+        grid.crash_node(node.node_id)
+        assert not node.alive
+        assert node.queue_len == 0          # volatile state lost
+        assert node.running is None
+        assert node._completion is None
+
+    def test_partitioned_node_unreachable(self):
+        grid = make_small_grid(n_nodes=2)
+        node = grid.node_list[0]
+        other = grid.node_list[1]
+        grid.partition_node(node.node_id)
+        job = Job(profile=JobProfile(name="undeliverable", client_id=1,
+                                     requirements=(0.0, 0.0, 0.0), work=5.0))
+        job.run_node_id = node.node_id
+        grid.network.send("assign", other.node_id, node.node_id, job)
+        grid.run(until=5.0)
+        assert node.queue_len == 0  # the network dropped the message
+
     def test_crash_is_idempotent(self):
         grid = make_small_grid(n_nodes=4)
         nid = grid.node_list[0].node_id

@@ -1,7 +1,5 @@
 """TTL random walk: bounded cost, first-fit semantics, documented misses."""
 
-import pytest
-
 from repro.grid.job import Job, JobProfile
 from repro.grid.resources import satisfies
 

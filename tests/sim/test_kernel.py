@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.sim.kernel import Simulator
-
 
 class TestScheduling:
     def test_events_fire_in_time_order(self, sim):

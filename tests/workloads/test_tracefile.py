@@ -25,7 +25,7 @@ class TestRoundTrip:
         assert loaded == sorted(stream, key=lambda j: j.submit_time)
 
     def test_loaded_trace_drives_a_grid(self, tmp_path, stream):
-        from repro.grid.job import Job, JobState
+        from repro.grid.job import Job
         from tests.conftest import make_small_grid
 
         path = tmp_path / "drive.jsonl"

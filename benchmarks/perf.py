@@ -1,0 +1,150 @@
+"""Machine-readable performance cells for the perf-trajectory benchmark.
+
+Each ``bench_*`` function times one well-defined workload cell and returns
+a flat dict of floats; ``test_bench_perf.py`` assembles the cells into
+``benchmarks/reports/BENCH_perf.json`` so future PRs can diff wall-clock
+against a recorded baseline (``BENCH_perf.baseline.json``).
+
+``BENCH_perf.json`` schema (version 1)::
+
+    {
+      "schema": 1,
+      "scale": 0.25,              # REPRO_BENCH_SCALE used for the run
+      "seeds": [1],               # REPRO_BENCH_SEEDS used for the run
+      "cpu_count": 8,             # os.cpu_count() on the measuring host
+      "python": "3.12.3",
+      "entries": {
+        "figure2.serial":   {"wall_s": ..., "cells": 12.0,
+                             "cells_per_s": ...},
+        "figure2.parallel": {"wall_s": ..., "cells": 12.0,
+                             "cells_per_s": ..., "jobs": 4.0,
+                             "speedup_vs_serial": ...},
+        "kernel.event_loop": {"wall_s": ..., "sim_events": ...,
+                              "events_per_s": ...},
+        "rntree.churn_maintenance": {"wall_s": ..., "churn_ops": ...,
+                                     "ops_per_s": ..., "n_nodes": ...}
+      }
+    }
+
+The measurement loops live here (not in the test file) so a baseline can
+be recorded with *exactly* the code a later comparison uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+from typing import Any
+
+import numpy as np
+
+PERF_SCHEMA = 1
+REPORT_DIR = Path(__file__).parent / "reports"
+PERF_PATH = REPORT_DIR / "BENCH_perf.json"
+BASELINE_PATH = REPORT_DIR / "BENCH_perf.baseline.json"
+
+
+# ----------------------------------------------------------------------
+# measurement cells
+# ----------------------------------------------------------------------
+
+def bench_figure2(scale: float, seeds: tuple[int, ...],
+                  jobs: int | None = None) -> dict[str, float]:
+    """Wall-clock of the full Figure 2 sweep (4 scenarios x 3 matchmakers
+    x seeds).  ``jobs=None`` runs the historical serial path."""
+    from repro.experiments import run_figure2
+
+    kwargs: dict[str, Any] = {} if jobs is None else {"jobs": jobs}
+    t0 = perf_counter()
+    run_figure2(scale=scale, seeds=seeds, **kwargs)
+    wall = perf_counter() - t0
+    cells = 4 * 3 * len(seeds)
+    out = {"wall_s": wall, "cells": float(cells), "cells_per_s": cells / wall}
+    if jobs is not None:
+        out["jobs"] = float(jobs)
+    return out
+
+
+def bench_kernel_events(scale: float, seed: int = 1) -> dict[str, float]:
+    """Raw kernel throughput: events/sec driving one mixed-heavy cell."""
+    from repro.experiments.runner import build_population, drive
+    from repro.grid.system import DesktopGrid, GridConfig
+    from repro.match import make_matchmaker
+    from repro.workloads.spec import FIGURE2_SCENARIOS
+
+    workload = FIGURE2_SCENARIOS["mixed-heavy"].scaled(scale)
+    nodes, stream = build_population(workload, seed)
+    grid = DesktopGrid(GridConfig(seed=seed, spec=workload.spec),
+                       make_matchmaker("rn-tree"), nodes)
+    t0 = perf_counter()
+    drive(grid, workload, stream)
+    wall = perf_counter() - t0
+    events = grid.sim.events_processed
+    return {"wall_s": wall, "sim_events": float(events),
+            "events_per_s": events / wall}
+
+
+def bench_rntree_maintenance(n_nodes: int = 150, cycles: int = 150,
+                             seed: int = 7) -> dict[str, float]:
+    """Serial wall-clock of RN-Tree churn maintenance.
+
+    Builds an rn-tree grid and applies ``cycles`` crash+recover pairs to
+    seeded-random victims — isolating exactly the per-update overlay and
+    tree maintenance cost the matchmaker pays under churn (no jobs run).
+    """
+    from repro.experiments.runner import build_population
+    from repro.grid.system import DesktopGrid, GridConfig
+    from repro.match import make_matchmaker
+    from repro.workloads.spec import WorkloadConfig
+
+    workload = WorkloadConfig(n_nodes=n_nodes, n_jobs=1)
+    nodes, _ = build_population(workload, seed)
+    grid = DesktopGrid(GridConfig(seed=seed), make_matchmaker("rn-tree"),
+                       nodes)
+    ids = [n.node_id for n in grid.node_list]
+    rng = np.random.default_rng(seed)
+    t0 = perf_counter()
+    for _ in range(cycles):
+        victim = ids[int(rng.integers(0, len(ids)))]
+        grid.crash_node(victim)
+        grid.recover_node(victim)
+    wall = perf_counter() - t0
+    ops = 2 * cycles
+    return {"wall_s": wall, "churn_ops": float(ops), "ops_per_s": ops / wall,
+            "n_nodes": float(n_nodes)}
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+def perf_document(scale: float, seeds: tuple[int, ...],
+                  entries: dict[str, dict[str, float]]) -> dict[str, Any]:
+    return {
+        "schema": PERF_SCHEMA,
+        "scale": scale,
+        "seeds": list(seeds),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "entries": {name: {k: round(float(v), 6) for k, v in cell.items()}
+                    for name, cell in entries.items()},
+    }
+
+
+def save_perf(doc: dict[str, Any], path: Path = PERF_PATH) -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> dict[str, Any] | None:
+    """The committed pre-optimization baseline, if any (schema-checked)."""
+    if not path.is_file():
+        return None
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != PERF_SCHEMA:
+        return None
+    return doc

@@ -1,0 +1,86 @@
+"""Perf trajectory: machine-readable wall-clock and throughput tracking.
+
+Assembles the measurement cells from :mod:`perf` into
+``benchmarks/reports/BENCH_perf.json`` (schema documented in ``perf.py``)
+so successive PRs can diff performance instead of guessing.  When the
+committed pre-optimization baseline is present, the RN-Tree maintenance
+cell must beat it — that is the incremental-aggregation payoff this
+harness exists to keep honest.
+
+Scale knobs: ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SEEDS`` (see
+``conftest.py``); ``REPRO_PERF_JOBS`` overrides the parallel cell's
+worker count (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from conftest import BENCH_SCALE, BENCH_SEEDS
+from perf import (
+    PERF_PATH,
+    bench_figure2,
+    bench_kernel_events,
+    bench_rntree_maintenance,
+    load_baseline,
+    perf_document,
+    save_perf,
+)
+
+PERF_JOBS = int(os.environ.get("REPRO_PERF_JOBS", "4"))
+
+
+def test_perf_trajectory(benchmark):
+    entries: dict[str, dict[str, float]] = {}
+
+    def measure():
+        entries["figure2.serial"] = bench_figure2(BENCH_SCALE, BENCH_SEEDS)
+        entries["figure2.parallel"] = bench_figure2(
+            BENCH_SCALE, BENCH_SEEDS, jobs=PERF_JOBS)
+        entries["figure2.parallel"]["speedup_vs_serial"] = (
+            entries["figure2.serial"]["wall_s"]
+            / entries["figure2.parallel"]["wall_s"])
+        entries["kernel.event_loop"] = bench_kernel_events(BENCH_SCALE)
+        entries["rntree.churn_maintenance"] = bench_rntree_maintenance()
+        return entries
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    doc = perf_document(BENCH_SCALE, BENCH_SEEDS, entries)
+    path = save_perf(doc)
+    print(f"\n[perf trajectory saved to {path}]")
+
+    # The written document must be well-formed and self-consistent.
+    written = json.loads(path.read_text())
+    assert written["schema"] == 1
+    for name, cell in written["entries"].items():
+        assert cell["wall_s"] > 0, name
+    speedup = written["entries"]["figure2.parallel"]["speedup_vs_serial"]
+
+    # Multi-core speedup is only assertable on multi-core hosts; the
+    # number is recorded either way so the trajectory file shows it.
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"parallel figure2 speedup {speedup:.2f}x < 2x on a "
+            f"{os.cpu_count()}-core host")
+
+    baseline = load_baseline()
+    if baseline is not None and \
+            "rntree.churn_maintenance" in baseline["entries"]:
+        before = baseline["entries"]["rntree.churn_maintenance"]
+        after = written["entries"]["rntree.churn_maintenance"]
+        assert after["churn_ops"] == before["churn_ops"]
+        assert after["wall_s"] < before["wall_s"], (
+            f"RN-Tree maintenance regressed: {after['wall_s']:.3f}s vs "
+            f"baseline {before['wall_s']:.3f}s for {after['churn_ops']:.0f} "
+            "churn ops")
+
+
+def test_perf_json_schema_roundtrip(tmp_path):
+    doc = perf_document(0.1, (1,), {"cell": {"wall_s": 1.2345678}})
+    path = save_perf(doc, tmp_path / "BENCH_perf.json")
+    back = json.loads(path.read_text())
+    assert back["schema"] == 1
+    assert back["entries"]["cell"]["wall_s"] == 1.234568  # rounded
+    assert back["cpu_count"] >= 1

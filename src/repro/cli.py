@@ -48,45 +48,55 @@ def _parse_seeds(text: str) -> tuple[int, ...]:
 
 
 #: Experiment registry: name -> (description, runner(scale, seeds) -> result).
+#: Runners for parallelizable sweeps also accept an optional ``jobs=``
+#: keyword (worker processes); the CLI forwards ``--jobs`` only when given,
+#: so plain two-argument runners remain valid registry entries.
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "figure2": ("Figure 2: job wait time, all four panels",
-                lambda scale, seeds: run_figure2(scale=scale, seeds=seeds)),
+                lambda scale, seeds, jobs=None: run_figure2(
+                    scale=scale, seeds=seeds, jobs=jobs)),
     "hops": ("matchmaking cost table ('a small number of hops')",
-             lambda scale, seeds: run_hops_experiment(scale=scale,
-                                                      seeds=seeds)),
+             lambda scale, seeds, jobs=None: run_hops_experiment(
+                 scale=scale, seeds=seeds, jobs=jobs)),
     "pushing": ("load-aware pushing vs basic CAN",
-                lambda scale, seeds: run_pushing_experiment(scale=scale,
-                                                            seeds=seeds)),
+                lambda scale, seeds, jobs=None: run_pushing_experiment(
+                    scale=scale, seeds=seeds, jobs=jobs)),
     "churn": ("robustness under churn: P2P vs client-server",
-              lambda scale, seeds: run_churn_experiment(seeds=seeds)),
+              lambda scale, seeds, jobs=None: run_churn_experiment(
+                  seeds=seeds, jobs=jobs)),
     "dht-scaling": ("DHT lookup cost vs N (Chord/Pastry/Kademlia/CAN)",
-                    lambda scale, seeds: run_dht_scaling(seed=seeds[0])),
+                    lambda scale, seeds, jobs=None: run_dht_scaling(
+                        seed=seeds[0], jobs=jobs)),
     "protocol": ("message-level Chord maintenance vs reliability",
-                 lambda scale, seeds: run_protocol_experiment()),
+                 lambda scale, seeds, jobs=None: run_protocol_experiment(
+                     jobs=jobs)),
     "ablation-vdim": ("virtual-dimension ablation",
-                      lambda scale, seeds: run_virtual_dimension_ablation(
-                          scale=scale, seed=seeds[0])),
+                      lambda scale, seeds, jobs=None:
+                      run_virtual_dimension_ablation(
+                          scale=scale, seed=seeds[0], jobs=jobs)),
     "ablation-k": ("RN-Tree extended-search k sweep",
-                   lambda scale, seeds: run_k_sweep_ablation(scale=scale,
-                                                             seed=seeds[0])),
+                   lambda scale, seeds, jobs=None: run_k_sweep_ablation(
+                       scale=scale, seed=seeds[0], jobs=jobs)),
     "ablation-ttl": ("TTL random walk vs structured matchmaking",
-                     lambda scale, seeds: run_ttl_ablation(scale=scale,
-                                                           seed=seeds[0])),
+                     lambda scale, seeds, jobs=None: run_ttl_ablation(
+                         scale=scale, seed=seeds[0], jobs=jobs)),
     "ablation-matchpipe": ("selection policy × probe mode under churn",
-                           lambda scale, seeds: run_matchpipe_ablation(
-                               seeds=seeds)),
+                           lambda scale, seeds, jobs=None:
+                           run_matchpipe_ablation(seeds=seeds, jobs=jobs)),
     "fairness": ("fair-share vs FIFO queueing extension",
-                 lambda scale, seeds: run_fairness_experiment(seed=seeds[0])),
+                 lambda scale, seeds, jobs=None:
+                 run_fairness_experiment(seed=seeds[0])),
     "scaling": ("grid scalability: wait/cost vs N at constant load",
-                lambda scale, seeds: run_scaling_experiment(seed=seeds[0])),
+                lambda scale, seeds, jobs=None: run_scaling_experiment(
+                    seed=seeds[0], jobs=jobs)),
     "tuning-heartbeat": ("heartbeat cadence: traffic vs detection latency",
-                         lambda scale, seeds: run_heartbeat_sweep(
+                         lambda scale, seeds, jobs=None: run_heartbeat_sweep(
                              seed=seeds[0])),
     "tuning-walk": ("RN-Tree random-walk length sweep",
-                    lambda scale, seeds: run_walk_length_sweep(
+                    lambda scale, seeds, jobs=None: run_walk_length_sweep(
                         scale=scale, seed=seeds[0])),
     "tuning-latency": ("WAN latency sensitivity",
-                       lambda scale, seeds: run_latency_sensitivity(
+                       lambda scale, seeds, jobs=None: run_latency_sensitivity(
                            scale=scale, seed=seeds[0])),
 }
 
@@ -103,12 +113,12 @@ SINGLE_SEED_EXPERIMENTS = frozenset({
 #: so its entries stay plain ``(description, runner(scale, seeds))``
 #: pairs for external callers.
 TELEMETRY_RUNNERS: dict[str, Callable] = {
-    "figure2": lambda scale, seeds, tel: run_figure2(
-        scale=scale, seeds=seeds, telemetry=tel),
-    "hops": lambda scale, seeds, tel: run_hops_experiment(
-        scale=scale, seeds=seeds, telemetry=tel),
-    "pushing": lambda scale, seeds, tel: run_pushing_experiment(
-        scale=scale, seeds=seeds, telemetry=tel),
+    "figure2": lambda scale, seeds, tel, jobs=None: run_figure2(
+        scale=scale, seeds=seeds, telemetry=tel, jobs=jobs),
+    "hops": lambda scale, seeds, tel, jobs=None: run_hops_experiment(
+        scale=scale, seeds=seeds, telemetry=tel, jobs=jobs),
+    "pushing": lambda scale, seeds, tel, jobs=None: run_pushing_experiment(
+        scale=scale, seeds=seeds, telemetry=tel, jobs=jobs),
 }
 
 
@@ -135,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory to also write the report(s) into")
     run.add_argument("--check", action="store_true",
                      help="fail (exit 1) if the paper-shape checks fail")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for the sweep fan-out "
+                          "(0 = all cores; default: serial, or the "
+                          "REPRO_JOBS environment variable if set)")
     run.add_argument("--telemetry", type=Path, default=None, metavar="PATH",
                      help="attach the telemetry stack and export the "
                           "span/metric stream as JSONL to PATH (supported "
@@ -183,23 +197,27 @@ def _warn_extra_seeds(name: str, seeds: tuple[int, ...]) -> None:
 
 def _run_one(name: str, scale: float, seeds: tuple[int, ...],
              out: Path | None, check: bool,
-             telemetry_out: Path | None = None) -> bool:
+             telemetry_out: Path | None = None,
+             jobs: int | None = None) -> bool:
     _warn_extra_seeds(name, seeds)
+    # Forward --jobs only when given so registry entries (and the test
+    # suite's monkeypatched fakes) may remain plain two-argument runners.
+    kw: dict = {} if jobs is None else {"jobs": jobs}
     tel = None
     if telemetry_out is not None:
         if name in TELEMETRY_RUNNERS:
             from repro.telemetry.core import Telemetry
 
             tel = Telemetry(profile_kernel=True, sample_interval=10.0)
-            result = TELEMETRY_RUNNERS[name](scale, seeds, tel)
+            result = TELEMETRY_RUNNERS[name](scale, seeds, tel, **kw)
         else:
             print(f"warning: experiment '{name}' does not support "
                   "--telemetry; running without it", file=sys.stderr)
             _desc, runner = EXPERIMENTS[name]
-            result = runner(scale, seeds)
+            result = runner(scale, seeds, **kw)
     else:
         _desc, runner = EXPERIMENTS[name]
-        result = runner(scale, seeds)
+        result = runner(scale, seeds, **kw)
     report = result.report()
     print(report)
     ok = True
@@ -277,7 +295,8 @@ def _main(argv: list[str] | None = None) -> int:
         if len(names) > 1:
             print(f"\n=== {name} ===\n")
         all_ok &= _run_one(name, args.scale, args.seeds, args.out, args.check,
-                           telemetry_out=args.telemetry)
+                           telemetry_out=args.telemetry,
+                           jobs=getattr(args, "jobs", None))
     return 0 if all_ok else 1
 
 

@@ -20,6 +20,29 @@ from repro.dht.can.node import CANNode, NeighborSet
 from repro.dht.can.space import Point, Zone, unit_zone
 
 
+class _BSPNode:
+    """One node of the split-history BSP index.
+
+    Zones are only ever created by splitting an existing zone, so the
+    split history is a binary space partition whose leaves tessellate the
+    key space exactly like the live zones do.  A leaf (``dim is None``)
+    records the zone and its current owner; takeovers move zone objects
+    between owners without changing geometry, so they only relabel the
+    leaf.  Point→owner resolution is then an O(tree depth) descent
+    instead of a linear scan over every zone.
+    """
+
+    __slots__ = ("dim", "at", "lower", "upper", "zone", "owner")
+
+    def __init__(self, zone: Zone, owner: CANNode):
+        self.dim: int | None = None
+        self.at = 0.0
+        self.lower: _BSPNode | None = None
+        self.upper: _BSPNode | None = None
+        self.zone: Zone | None = zone
+        self.owner: CANNode | None = owner
+
+
 class CANOverlay(DHTOverlay):
     """A simulated CAN over ``[0,1)^dims``."""
 
@@ -31,6 +54,7 @@ class CANOverlay(DHTOverlay):
         self.dims = dims
         self.nodes: dict[int, CANNode] = {}
         self._live: list[CANNode] = []
+        self._bsp: _BSPNode | None = None
 
     # ------------------------------------------------------------------
     # membership
@@ -48,12 +72,16 @@ class CANOverlay(DHTOverlay):
             node.zones = [unit_zone(self.dims)]
             node.neighbors = NeighborSet()
             self._live.append(node)
+            self._bsp = _BSPNode(node.zones[0], node)
             return
-        start = bootstrap if bootstrap is not None and bootstrap.alive else None
-        result = self._route(node.point, start, record=False)
-        if not result.success:
+        if bootstrap is None or not bootstrap.alive:
+            # The pre-index join routed from a random live node; keep that
+            # RNG draw so every downstream stream stays bit-identical.
+            self._random_live()
+        leaf = self._bsp_leaf(node.point)
+        if leaf is None or leaf.owner is None or not leaf.owner.alive:
             raise RuntimeError("CAN join routing failed")
-        owner: CANNode = result.owner  # type: ignore[assignment]
+        owner: CANNode = leaf.owner
         self._split_with(owner, node)
         self._live.append(node)
 
@@ -166,11 +194,29 @@ class CANOverlay(DHTOverlay):
         return result
 
     def zone_owner(self, point: Point) -> CANNode | None:
-        """Oracle ownership by linear scan (tests and assertions only)."""
-        for node in self._live:
-            if node.owns_point(point):
-                return node
+        """Oracle ownership via the split-history index (O(tree depth))."""
+        if not self._live:
+            return None
+        leaf = self._bsp_leaf(point)
+        if leaf is None or leaf.owner is None:
+            return None
+        owner = leaf.owner
+        # The containment check rejects out-of-range points exactly like
+        # the historical linear scan did (and the closed top face at the
+        # 1.0 boundary is the zone's call, not the descent's).
+        if owner.alive and owner.owns_point(point):
+            return owner
         return None
+
+    def _bsp_leaf(self, point: Point) -> _BSPNode | None:
+        """Descend the split history to the leaf whose region holds
+        ``point``.  Split planes use the half-open convention, so a
+        coordinate equal to the plane belongs to the upper side; all
+        planes are bit-exact split coordinates, so ``<`` is exact."""
+        node = self._bsp
+        while node is not None and node.dim is not None:
+            node = node.lower if point[node.dim] < node.at else node.upper
+        return node
 
     def replica_set(self, owner: CANNode, key, replicas: int) -> list[CANNode]:
         """Owner plus its nearest live neighbors (CAN neighbor replication)."""
@@ -214,6 +260,17 @@ class CANOverlay(DHTOverlay):
             )
         owner.zones[zone_idx] = owner_zone
         joiner.zones = [joiner_zone]
+        # Record the split in the BSP index: the leaf holding the joiner's
+        # point is exactly the zone just split; it becomes an inner node
+        # over the two halves.
+        leaf = self._bsp_leaf(joiner.point)
+        if leaf is not None:
+            leaf.lower = _BSPNode(
+                lower, joiner if joiner_zone is lower else owner)
+            leaf.upper = _BSPNode(
+                upper, joiner if joiner_zone is upper else owner)
+            leaf.dim, leaf.at = dim, at
+            leaf.zone = leaf.owner = None
         # Rewire neighbor sets: candidates are the old owner's neighbors
         # plus the owner itself.
         candidates = NeighborSet(owner.neighbors)
@@ -265,6 +322,12 @@ class CANOverlay(DHTOverlay):
             if heir is None:
                 continue  # overlay is empty
             heir.zones.append(zone)
+            # Relabel the zone's leaf in the index (geometry unchanged);
+            # the center is interior, so the descent cannot land on a
+            # boundary-sharing sibling.
+            leaf = self._bsp_leaf(zone.center())
+            if leaf is not None:
+                leaf.owner = heir
             # Zone adoption may create new abutments for the heir.
             for cand in list(dead.neighbors) + self._live:
                 if cand is heir or not cand.alive:
@@ -298,6 +361,11 @@ class CANOverlay(DHTOverlay):
             for nb in node.neighbors:
                 if nb.alive and node not in nb.neighbors:
                     raise AssertionError(f"asymmetric neighbor link {node} -> {nb}")
+        for node in self._live:
+            for zone in node.zones:
+                if self.zone_owner(zone.center()) is not node:
+                    raise AssertionError(
+                        f"BSP index disagrees with zone ownership for {node}")
         for i, a in enumerate(self._live):
             for b in self._live[i + 1:]:
                 should = _are_neighbors(a, b)

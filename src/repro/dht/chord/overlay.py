@@ -105,16 +105,101 @@ class ChordOverlay(DHTOverlay):
         self._notify(succ, node)
 
     def oracle_join(self, node: ChordNode) -> None:
-        """Admit a node and wire its (and its neighbors') pointers exactly."""
+        """Admit a node and splice the oracle pointers exactly.
+
+        Leaves every live node's pointers as a full :meth:`repair` would
+        (provided they were oracle-exact beforehand): the newcomer gets
+        fresh pointers, its successor's predecessor moves, its ``r`` live
+        predecessors' successor lists absorb it, and finger entries whose
+        target falls in the newly claimed arc are re-pointed at it.  Cost
+        O((r + B) log N) instead of repair's O(N·B).
+        """
         if node.node_id in self.nodes and self.nodes[node.node_id] is not node:
             raise ValueError(f"node id collision {node.node_id:#x}")
         self.nodes[node.node_id] = node
         node.alive = True
         self._insert_live_id(node.node_id)
         self._oracle_pointers(node)
+        n = len(self._live_ids)
+        if n == 1:
+            return
+        if n <= self.r + 1:
+            # Tiny ring: every successor list spans the whole ring, so
+            # the incremental splice degenerates to a full repair anyway.
+            self.repair()
+            return
+        succ = self.nodes[self._oracle_successor_ids(node.node_id, 1)[0]]
+        succ.predecessor = node
+        self._refresh_successor_lists(node.node_id)
         pred = self._oracle_predecessor(node.node_id)
-        if pred is not None:
-            self._oracle_pointers(pred)
+        self._retarget_fingers(pred.node_id, node.node_id, node)
+
+    def crash_repair(self, node_id: int) -> None:
+        """Crash ``node_id`` and splice the oracle pointers incrementally.
+
+        Equivalent to :meth:`crash` followed by :meth:`repair` *when the
+        ring's pointers were oracle-exact beforehand* (as after ``build``,
+        ``oracle_join``, ``repair``, or a previous ``crash_repair``):
+        removing one id only invalidates pointers that referenced it, and
+        those are reachable by ring arithmetic — the dead node's successor
+        (predecessor pointer), its ``r`` live predecessors (successor
+        lists), and per finger level the nodes whose finger target falls
+        in the vacated arc.  Cost O((r + B) log N) instead of O(N·B).
+        """
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        self.crash(node_id)
+        n = len(self._live_ids)
+        if n == 0:
+            return
+        if n <= self.r + 1:
+            self.repair()
+            return
+        succ = self.successor_of(node_id)
+        pred = self._oracle_predecessor(node_id)
+        if succ.predecessor is not None \
+                and succ.predecessor.node_id == node_id:
+            succ.predecessor = pred
+        self._refresh_successor_lists(node_id)
+        self._retarget_fingers(pred.node_id, node_id, succ)
+
+    def predecessor_id(self, key: int) -> int | None:
+        """The live id strictly preceding ``key`` on the ring (oracle)."""
+        node = self._oracle_predecessor(key)
+        return None if node is None else node.node_id
+
+    def _refresh_successor_lists(self, around_id: int) -> None:
+        """Recompute the successor lists of the ``r`` live predecessors of
+        ``around_id`` — the only lists a membership change there can touch
+        once ``n > r + 1``."""
+        cur = around_id
+        for _ in range(min(self.r, len(self._live_ids))):
+            p = self._oracle_predecessor(cur)
+            p.successors = [
+                self.nodes[sid]
+                for sid in self._oracle_successor_ids(p.node_id, self.r)]
+            cur = p.node_id
+
+    def _ids_in_arc(self, a: int, b: int) -> list[int]:
+        """Live ids in the ring interval ``(a, b]`` (wrap-aware, a != b)."""
+        ids = self._live_ids
+        lo = bisect.bisect_right(ids, a)
+        hi = bisect.bisect_right(ids, b)
+        if a < b:
+            return ids[lo:hi]
+        return ids[lo:] + ids[:hi]
+
+    def _retarget_fingers(self, lo: int, hi: int, target: ChordNode) -> None:
+        """Point finger entries whose start falls in ``(lo, hi]`` at
+        ``target``: level ``i`` of node ``x`` targets ``x + 2^i``, so the
+        affected nodes sit in the arc shifted down by ``2^i``."""
+        mask = (1 << self.bits) - 1
+        for i in range(self.bits):
+            span = 1 << i
+            for nid in self._ids_in_arc((lo - span) & mask,
+                                        (hi - span) & mask):
+                self.nodes[nid].fingers[i] = target
 
     def crash(self, node_id: int) -> None:
         node = self.nodes[node_id]

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.experiments.parallel import call, map_cells
 from repro.experiments.runner import build_population, run_workload
-from repro.grid.system import DesktopGrid, GridConfig
+from repro.grid.system import DEFAULT_MAX_TIME, DesktopGrid, GridConfig
 from repro.match import make_matchmaker
 from repro.metrics.report import format_table
 from repro.workloads.spec import FIGURE2_SCENARIOS, WorkloadConfig
@@ -60,7 +61,9 @@ class VirtualDimResult:
 
 
 def run_virtual_dimension_ablation(scale: float = 0.2, seed: int = 1,
-                                   max_time: float = 1e6) -> VirtualDimResult:
+                                   max_time: float = DEFAULT_MAX_TIME,
+                                   jobs: int | None = None
+                                   ) -> VirtualDimResult:
     result = VirtualDimResult()
 
     # Part 1: clustered nodes, no virtual dimension -> zone splits between
@@ -81,12 +84,17 @@ def run_virtual_dimension_ablation(scale: float = 0.2, seed: int = 1,
     # zone") or the paper's random one.
     workload = WorkloadConfig(node_mode="mixed", job_mode="clustered",
                               constraint_prob=0.4, job_classes=4).scaled(scale)
-    for label, kwargs in (
+    variants = (
         ("can (no virtual dim)", {"job_virtual_spread": False}),
         ("can (virtual dim)", {"job_virtual_spread": True}),
-    ):
-        s = run_workload(workload, "can", seed=seed, mm_kwargs=kwargs,
-                         max_time=max_time).summary
+    )
+    outcomes = map_cells(
+        run_workload,
+        [call(workload, "can", seed=seed, mm_kwargs=kwargs,
+              max_time=max_time) for _label, kwargs in variants],
+        jobs=jobs)
+    for (label, _kwargs), outcome in zip(variants, outcomes):
+        s = outcome.summary
         result.by_variant[label] = s
         result.rows.append([label, round(s["wait_mean"], 2),
                             round(s["wait_std"], 2), int(s["completed"])])
@@ -122,12 +130,17 @@ class KSweepResult:
 
 def run_k_sweep_ablation(ks: tuple[int, ...] = (1, 2, 4, 8),
                          scale: float = 0.2, seed: int = 1,
-                         max_time: float = 1e6) -> KSweepResult:
+                         max_time: float = DEFAULT_MAX_TIME,
+                         jobs: int | None = None) -> KSweepResult:
     workload = FIGURE2_SCENARIOS["mixed-heavy"].scaled(scale)
     result = KSweepResult()
-    for k in ks:
-        s = run_workload(workload, "rn-tree", seed=seed,
-                         mm_kwargs={"k": k}, max_time=max_time).summary
+    outcomes = map_cells(
+        run_workload,
+        [call(workload, "rn-tree", seed=seed, mm_kwargs={"k": k},
+              max_time=max_time) for k in ks],
+        jobs=jobs)
+    for k, outcome in zip(ks, outcomes):
+        s = outcome.summary
         result.by_k[k] = s
         result.rows.append([k, round(s["wait_mean"], 2),
                             round(s["wait_std"], 2),
@@ -162,15 +175,21 @@ class TTLResult:
 
 
 def run_ttl_ablation(scale: float = 0.2, seed: int = 1, ttl: int | None = 6,
-                     max_time: float = 1e6) -> TTLResult:
+                     max_time: float = DEFAULT_MAX_TIME,
+                     jobs: int | None = None) -> TTLResult:
     # Heavily constrained mixed jobs: few satisfying nodes per job, so a
     # short blind walk frequently misses them all (every job is feasible
     # by construction — see repro.workloads.jobs).
     workload = FIGURE2_SCENARIOS["mixed-heavy"].scaled(scale)
     result = TTLResult()
-    for mm, kwargs in (("ttl-walk", {"ttl": ttl}), ("rn-tree", {}), ("can", {})):
-        s = run_workload(workload, mm, seed=seed, mm_kwargs=kwargs,
-                         max_time=max_time).summary
+    cells = (("ttl-walk", {"ttl": ttl}), ("rn-tree", {}), ("can", {}))
+    outcomes = map_cells(
+        run_workload,
+        [call(workload, mm, seed=seed, mm_kwargs=kwargs,
+              max_time=max_time) for mm, kwargs in cells],
+        jobs=jobs)
+    for (mm, _kwargs), outcome in zip(cells, outcomes):
+        s = outcome.summary
         result.by_mm[mm] = s
         result.rows.append([mm, int(s["failed"]), round(s["wait_mean"], 2),
                             round(s["match_cost_mean"], 2)])

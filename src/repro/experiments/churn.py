@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.parallel import call, map_cells
 from repro.experiments.runner import build_population, drive
 from repro.grid.job import JobState
 from repro.grid.system import DesktopGrid, GridConfig
@@ -160,11 +161,16 @@ SYSTEMS = ("p2p/rn-tree", "p2p/can-push", "client-server")
 
 def run_churn_experiment(config: ChurnConfig | None = None,
                          seeds: tuple[int, ...] = (1,),
-                         systems: tuple[str, ...] = SYSTEMS) -> ChurnResult:
+                         systems: tuple[str, ...] = SYSTEMS,
+                         jobs: int | None = None) -> ChurnResult:
     cc = config or ChurnConfig()
     result = ChurnResult(config=cc)
-    for system in systems:
-        per_seed = [_run_system(cc, system, seed) for seed in seeds]
+    summaries = map_cells(
+        _run_system,
+        [call(cc, system, seed) for system in systems for seed in seeds],
+        jobs=jobs)
+    for i, system in enumerate(systems):
+        per_seed = summaries[i * len(seeds):(i + 1) * len(seeds)]
         agg = {k: float(np.mean([p[k] for p in per_seed])) for k in per_seed[0]}
         result.by_system[system] = agg
         result.rows.append([

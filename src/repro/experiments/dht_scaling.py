@@ -20,6 +20,7 @@ from repro.dht.can import CANNode, CANOverlay
 from repro.dht.chord import ChordOverlay
 from repro.dht.kademlia import KademliaOverlay
 from repro.dht.pastry import PastryOverlay
+from repro.experiments.parallel import call, map_cells
 from repro.metrics.report import format_table
 from repro.util.ids import guid_for
 from repro.util.rng import RngStreams
@@ -78,38 +79,54 @@ class DHTScalingResult:
         }
 
 
+def _run_size_cell(n: int, lookups: int, can_dims: int,
+                   seed: int) -> dict[str, float]:
+    """Lookup-cost means for every substrate at one population size.
+
+    A fresh ``RngStreams(seed)`` per cell yields streams bit-identical to
+    the historical shared instance: stream derivation is (seed, name)
+    keyed and every name here embeds ``n``, so cells are independent and
+    safe to run in worker processes.
+    """
+    streams = RngStreams(seed)
+    ids = sorted({guid_for(f"dht-node-{n}-{i}") for i in range(n)})
+    out: dict[str, float] = {}
+
+    chord = ChordOverlay(streams[f"chord-{n}"])
+    chord.build(ids)
+    out["chord"] = _mean_hops(chord, n, lookups, "c")
+
+    pastry = PastryOverlay(streams[f"pastry-{n}"])
+    pastry.build(ids)
+    out["pastry"] = _mean_hops(pastry, n, lookups, "p")
+
+    kad = KademliaOverlay(streams[f"kad-{n}"])
+    kad.build(ids)
+    out["kademlia"] = _mean_hops(kad, n, lookups, "k")
+
+    can = CANOverlay(streams[f"can-{n}"], dims=can_dims)
+    coord_rng = streams[f"can-coords-{n}"]
+    for nid in ids:
+        can.join(CANNode(nid, tuple(coord_rng.uniform(0, 1, can_dims))))
+    hops = []
+    for _ in range(lookups):
+        res = can.route(tuple(coord_rng.uniform(0, 1, can_dims)))
+        if res.success:
+            hops.append(res.hops)
+    out["can"] = float(np.mean(hops))
+    return out
+
+
 def run_dht_scaling(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
                     lookups: int = 300, can_dims: int = 4,
-                    seed: int = 1) -> DHTScalingResult:
+                    seed: int = 1,
+                    jobs: int | None = None) -> DHTScalingResult:
     result = DHTScalingResult(sizes=sizes, can_dims=can_dims)
-    streams = RngStreams(seed)
+    cells = map_cells(_run_size_cell,
+                      [call(n, lookups, can_dims, seed) for n in sizes],
+                      jobs=jobs)
     for name in ("chord", "pastry", "kademlia", "can"):
-        result.mean_hops[name] = []
-    for n in sizes:
-        ids = sorted({guid_for(f"dht-node-{n}-{i}") for i in range(n)})
-
-        chord = ChordOverlay(streams[f"chord-{n}"])
-        chord.build(ids)
-        result.mean_hops["chord"].append(_mean_hops(chord, n, lookups, "c"))
-
-        pastry = PastryOverlay(streams[f"pastry-{n}"])
-        pastry.build(ids)
-        result.mean_hops["pastry"].append(_mean_hops(pastry, n, lookups, "p"))
-
-        kad = KademliaOverlay(streams[f"kad-{n}"])
-        kad.build(ids)
-        result.mean_hops["kademlia"].append(_mean_hops(kad, n, lookups, "k"))
-
-        can = CANOverlay(streams[f"can-{n}"], dims=can_dims)
-        coord_rng = streams[f"can-coords-{n}"]
-        for i, nid in enumerate(ids):
-            can.join(CANNode(nid, tuple(coord_rng.uniform(0, 1, can_dims))))
-        hops = []
-        for i in range(lookups):
-            res = can.route(tuple(coord_rng.uniform(0, 1, can_dims)))
-            if res.success:
-                hops.append(res.hops)
-        result.mean_hops["can"].append(float(np.mean(hops)))
+        result.mean_hops[name] = [cell[name] for cell in cells]
     return result
 
 

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.runner import run_replicates
+from repro.experiments.parallel import call, map_cells
+from repro.experiments.runner import aggregate_outcomes, run_workload
+from repro.grid.system import DEFAULT_MAX_TIME
 from repro.metrics.report import format_barchart, format_table
 from repro.workloads.spec import FIGURE2_SCENARIOS, WorkloadConfig
 
@@ -66,6 +68,15 @@ class Figure2Result:
     def report(self, bars: bool = True) -> str:
         headers = ["constraints", *FIGURE2_MATCHMAKERS]
         parts = []
+        truncated = [f"{scenario}/{mm}"
+                     for scenario, by_mm in self.values.items()
+                     for mm, summary in by_mm.items()
+                     if summary.get("all_finished", 1.0) < 1.0]
+        if truncated:
+            parts.append(
+                "*** WARNING: cells hit max_time before the workload "
+                "drained (all_finished=0.0) — their wait times are "
+                "truncated: " + ", ".join(truncated) + " ***")
         for label, family, stat in self.PANEL_SPECS:
             rows = self.panel(family, stat)
             parts.append(format_table(headers, rows, title=label))
@@ -153,16 +164,23 @@ def scaled_scenarios(scale: float) -> dict[str, WorkloadConfig]:
 
 def run_figure2(scale: float = 0.25, seeds: tuple[int, ...] = (1,),
                 matchmakers: tuple[str, ...] = FIGURE2_MATCHMAKERS,
-                max_time: float = 1e6, telemetry=None) -> Figure2Result:
+                max_time: float = DEFAULT_MAX_TIME, telemetry=None,
+                jobs: int | None = None) -> Figure2Result:
     """Run the full Figure 2 grid.  ``scale=1.0`` is paper scale (1000
     nodes / 5000 jobs); smaller scales keep per-node utilization constant
     (see :meth:`WorkloadConfig.scaled`).  ``telemetry`` attaches one
-    observability stack across every cell of the grid."""
+    observability stack across every cell of the grid; ``jobs`` fans the
+    (scenario x matchmaker x seed) cells out over worker processes with
+    per-cell results identical to the serial sweep."""
     result = Figure2Result(scale=scale, seeds=seeds)
-    for scenario, workload in scaled_scenarios(scale).items():
-        result.values[scenario] = {}
-        for mm in matchmakers:
-            result.values[scenario][mm] = run_replicates(
-                workload, mm, seeds=seeds, max_time=max_time,
-                telemetry=telemetry)
+    scenarios = scaled_scenarios(scale)
+    groups = [(scenario, mm) for scenario in scenarios for mm in matchmakers]
+    outcomes = map_cells(
+        run_workload,
+        [call(scenarios[scenario], mm, seed=s, max_time=max_time)
+         for scenario, mm in groups for s in seeds],
+        jobs=jobs, telemetry=telemetry)
+    for i, (scenario, mm) in enumerate(groups):
+        cell = outcomes[i * len(seeds):(i + 1) * len(seeds)]
+        result.values.setdefault(scenario, {})[mm] = aggregate_outcomes(cell)
     return result

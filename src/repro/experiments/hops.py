@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.parallel import call, map_cells
 from repro.experiments.runner import run_workload
+from repro.grid.system import DEFAULT_MAX_TIME
 from repro.metrics.report import format_table
 from repro.workloads.spec import FIGURE2_SCENARIOS
 
@@ -57,9 +59,10 @@ class HopsResult:
 
 def run_hops_experiment(scale: float = 0.25, seed: int | None = None,
                         matchmakers: tuple[str, ...] = ("rn-tree", "can"),
-                        max_time: float = 1e6,
+                        max_time: float = DEFAULT_MAX_TIME,
                         seeds: tuple[int, ...] = (1,),
-                        telemetry=None) -> HopsResult:
+                        telemetry=None,
+                        jobs: int | None = None) -> HopsResult:
     """Every seed in ``seeds`` is run and the per-seed means averaged
     (``seed=`` remains as a single-seed alias).  Earlier versions accepted
     a seed list upstream and silently ran only the first — if you pass
@@ -70,15 +73,20 @@ def run_hops_experiment(scale: float = 0.25, seed: int | None = None,
     result = HopsResult(n_nodes=first.n_nodes, seeds=seeds)
     cols = ("owner_hops_mean", "match_hops_mean", "probes_mean",
             "match_cost_mean")
-    for scenario, workload in FIGURE2_SCENARIOS.items():
-        wl = workload.scaled(scale)
-        for mm in matchmakers:
-            summaries = [run_workload(wl, mm, seed=s, max_time=max_time,
-                                      telemetry=telemetry).summary
-                         for s in seeds]
-            result.rows.append([
-                scenario, mm,
-                *(round(float(np.mean([s[c] for s in summaries])), 2)
-                  for c in cols),
-            ])
+    groups = [(scenario, workload.scaled(scale), mm)
+              for scenario, workload in FIGURE2_SCENARIOS.items()
+              for mm in matchmakers]
+    outcomes = map_cells(
+        run_workload,
+        [call(wl, mm, seed=s, max_time=max_time)
+         for _scenario, wl, mm in groups for s in seeds],
+        jobs=jobs, telemetry=telemetry)
+    for i, (scenario, _wl, mm) in enumerate(groups):
+        summaries = [o.summary
+                     for o in outcomes[i * len(seeds):(i + 1) * len(seeds)]]
+        result.rows.append([
+            scenario, mm,
+            *(round(float(np.mean([s[c] for s in summaries])), 2)
+              for c in cols),
+        ])
     return result

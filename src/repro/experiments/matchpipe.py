@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.parallel import call, map_cells
 from repro.experiments.runner import build_population, drive
 from repro.grid.job import JobState
 from repro.grid.system import DesktopGrid, GridConfig
@@ -180,25 +181,31 @@ def _run_cell(cc: MatchPipeConfig, probe_mode: str, policy: str,
 
 
 def run_matchpipe_ablation(config: MatchPipeConfig | None = None,
-                           seeds: tuple[int, ...] = (1,)) -> MatchPipeResult:
+                           seeds: tuple[int, ...] = (1,),
+                           jobs: int | None = None) -> MatchPipeResult:
     cc = config or MatchPipeConfig()
     result = MatchPipeResult(config=cc)
-    for probe_mode in PROBE_MODES:
-        for policy in SELECTION_POLICIES:
-            per_seed = [_run_cell(cc, probe_mode, policy, seed)
-                        for seed in seeds]
-            agg = {k: float(np.mean([p[k] for p in per_seed]))
-                   for k in per_seed[0]}
-            result.by_cell[(probe_mode, policy)] = agg
-            result.rows.append([
-                probe_mode,
-                policy,
-                round(agg["wait_mean"], 1),
-                round(agg["match_cost_mean"], 2),
-                round(agg["probes_mean"], 2),
-                round(100 * agg["completed_frac"], 1),
-                round(agg["recoveries_run_node"], 1),
-                round(agg["recoveries_dispatch"], 1),
-                round(agg["dispatch_latency_mean"], 2),
-            ])
+    groups = [(probe_mode, policy) for probe_mode in PROBE_MODES
+              for policy in SELECTION_POLICIES]
+    summaries = map_cells(
+        _run_cell,
+        [call(cc, probe_mode, policy, seed)
+         for probe_mode, policy in groups for seed in seeds],
+        jobs=jobs)
+    for i, (probe_mode, policy) in enumerate(groups):
+        per_seed = summaries[i * len(seeds):(i + 1) * len(seeds)]
+        agg = {k: float(np.mean([p[k] for p in per_seed]))
+               for k in per_seed[0]}
+        result.by_cell[(probe_mode, policy)] = agg
+        result.rows.append([
+            probe_mode,
+            policy,
+            round(agg["wait_mean"], 1),
+            round(agg["match_cost_mean"], 2),
+            round(agg["probes_mean"], 2),
+            round(100 * agg["completed_frac"], 1),
+            round(agg["recoveries_run_node"], 1),
+            round(agg["recoveries_dispatch"], 1),
+            round(agg["dispatch_latency_mean"], 2),
+        ])
     return result

@@ -1,0 +1,130 @@
+"""Process-parallel sweep fan-out shared by every experiment driver.
+
+Every experiment is a grid of independent (workload, matchmaker, seed)
+cells, and each cell owns its RNG (:class:`repro.util.rng.RngStreams` is
+seed+name keyed), so cells can run in worker processes and produce
+outcomes *bit-identical* to the serial loop.  :func:`map_cells` is the one
+fan-out primitive: it preserves submission order, propagates exceptions,
+and folds worker telemetry metrics back into the parent registry.
+
+Determinism contract:
+
+* With ``jobs=1`` the cells run in-process through the exact historical
+  code path (including a shared parent telemetry, when given).
+* With ``jobs>1`` each cell's result is produced by the same function
+  with the same arguments in a fresh process, and worker metric states
+  are merged in submission order — so counters, histograms, and final
+  gauge values match the serial run (histogram running *totals* can
+  differ in the last ulp: float addition is not associative across the
+  per-worker partial sums).  Bus traces and kernel profiles are
+  per-process and stay in the worker; use ``jobs=1`` (e.g. ``repro
+  trace``) when the span stream itself is the artifact.
+
+``REPRO_JOBS`` supplies a default worker count when the caller does not
+pass one; ``0`` means "all cores".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+ENV_JOBS = "REPRO_JOBS"
+
+#: One prepared cell invocation: (positional args, keyword args).
+Call = tuple[tuple, dict]
+
+
+def call(*args: Any, **kwargs: Any) -> Call:
+    """Package one cell invocation for :func:`map_cells`."""
+    return args, kwargs
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit argument, else ``$REPRO_JOBS``,
+    else 1.  Zero or negative means "one worker per core"."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(ENV_JOBS, "1"))
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class _TelemetrySpec:
+    """The picklable subset of a Telemetry config a worker reconstructs.
+
+    Only settings that influence *metrics* matter for the fold-back
+    (the load sampler writes gauges/histograms); bus categories and
+    buffer bounds shape records that never leave the worker.
+    """
+
+    profile_kernel: bool
+    sample_interval: float | None
+
+    @classmethod
+    def of(cls, telemetry) -> "_TelemetrySpec | None":
+        if telemetry is None or not telemetry.enabled:
+            return None
+        return cls(profile_kernel=telemetry.profile is not None,
+                   sample_interval=telemetry.sample_interval)
+
+
+def _run_cell(fn: Callable, args: tuple, kwargs: dict,
+              spec: _TelemetrySpec | None):
+    """Worker-side cell execution (module-level so it pickles)."""
+    if spec is None:
+        return fn(*args, **kwargs), None
+    from repro.telemetry.core import Telemetry
+
+    tel = Telemetry(profile_kernel=spec.profile_kernel,
+                    sample_interval=spec.sample_interval)
+    result = fn(*args, telemetry=tel, **kwargs)
+    return result, tel.metrics.state()
+
+
+def map_cells(fn: Callable, calls: Iterable[Call], *,
+              jobs: int | None = None, telemetry=None) -> list:
+    """Run ``fn(*args, **kwargs)`` for every prepared call, in order.
+
+    Parameters
+    ----------
+    fn:
+        A module-level cell function (it must pickle for ``jobs>1``).
+    calls:
+        Prepared invocations (see :func:`call`).  Results come back in
+        the same order regardless of completion order.
+    jobs:
+        Worker processes; ``None`` consults ``$REPRO_JOBS`` (default 1).
+    telemetry:
+        Optional parent :class:`~repro.telemetry.Telemetry`.  Serial runs
+        pass it straight into ``fn`` (shared accumulation, historical
+        behavior); parallel runs give each worker a fresh stack and merge
+        the metric states back in submission order.
+    """
+    calls = list(calls)
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    n_jobs = min(resolve_jobs(jobs), max(len(calls), 1))
+    if n_jobs <= 1:
+        if telemetry is None:
+            return [fn(*args, **kwargs) for args, kwargs in calls]
+        return [fn(*args, telemetry=telemetry, **kwargs)
+                for args, kwargs in calls]
+    spec = _TelemetrySpec.of(telemetry)
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        futures = [pool.submit(_run_cell, fn, args, kwargs, spec)
+                   for args, kwargs in calls]
+        pairs = [f.result() for f in futures]
+    results = []
+    for result, metric_state in pairs:
+        if metric_state is not None:
+            telemetry.metrics.merge(metric_state)
+        results.append(result)
+    return results

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dht.chord.protocol import ChordProtocolNetwork
+from repro.experiments.parallel import call, map_cells
 from repro.metrics.report import format_table
 from repro.sim.failure import CrashRecoveryProcess
 from repro.sim.kernel import Simulator
@@ -148,12 +149,14 @@ def _run_one(cc: ProtocolConfig, interval: float) -> dict[str, float]:
     }
 
 
-def run_protocol_experiment(config: ProtocolConfig | None = None
-                            ) -> ProtocolResult:
+def run_protocol_experiment(config: ProtocolConfig | None = None,
+                            jobs: int | None = None) -> ProtocolResult:
     cc = config or ProtocolConfig()
     result = ProtocolResult(config=cc)
-    for interval in cc.intervals:
-        summary = _run_one(cc, interval)
+    summaries = map_cells(_run_one,
+                          [call(cc, interval) for interval in cc.intervals],
+                          jobs=jobs)
+    for interval, summary in zip(cc.intervals, summaries):
         result.by_interval[interval] = summary
         result.rows.append([
             interval,

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.runner import run_replicates
+from repro.experiments.parallel import call, map_cells
+from repro.experiments.runner import aggregate_outcomes, run_workload
+from repro.grid.system import DEFAULT_MAX_TIME
 from repro.metrics.report import format_table
 from repro.workloads.spec import FIGURE2_SCENARIOS
 
@@ -49,13 +51,19 @@ class PushingResult:
 
 
 def run_pushing_experiment(scale: float = 0.25, seeds: tuple[int, ...] = (1,),
-                           max_time: float = 1e6,
-                           telemetry=None) -> PushingResult:
+                           max_time: float = DEFAULT_MAX_TIME,
+                           telemetry=None,
+                           jobs: int | None = None) -> PushingResult:
     workload = FIGURE2_SCENARIOS["mixed-light"].scaled(scale)
     result = PushingResult()
-    for mm in ("can", "can-push", "centralized"):
-        s = run_replicates(workload, mm, seeds=seeds, max_time=max_time,
-                           telemetry=telemetry)
+    matchmakers = ("can", "can-push", "centralized")
+    outcomes = map_cells(
+        run_workload,
+        [call(workload, mm, seed=s, max_time=max_time)
+         for mm in matchmakers for s in seeds],
+        jobs=jobs, telemetry=telemetry)
+    for i, mm in enumerate(matchmakers):
+        s = aggregate_outcomes(outcomes[i * len(seeds):(i + 1) * len(seeds)])
         result.by_mm[mm] = s
         result.rows.append([
             mm,

@@ -5,22 +5,31 @@ node population and job stream are generated *once* from dedicated RNG
 streams and replayed identically against every matchmaker, so wait-time
 differences are attributable to matchmaking alone — the same methodology
 as the paper's simulator comparisons.
+
+Sweeps fan out over worker processes through
+:func:`repro.experiments.parallel.map_cells`; each (workload, matchmaker,
+seed) cell owns its RNG, so per-cell outcomes are bit-identical whether
+the sweep runs serially or with ``jobs > 1``.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.experiments.parallel import call, map_cells
 from repro.grid.job import Job
-from repro.grid.system import DesktopGrid, GridConfig
+from repro.grid.system import DEFAULT_MAX_TIME, DesktopGrid, GridConfig
 from repro.match import make_matchmaker
 from repro.util.rng import RngStreams
 from repro.workloads.jobs import ScheduledJob, generate_job_stream
 from repro.workloads.nodes import generate_nodes
 from repro.workloads.spec import WorkloadConfig
+
+log = logging.getLogger("repro.experiments")
 
 
 @dataclass
@@ -36,6 +45,7 @@ class RunOutcome:
     node_exec_counts: list[int] = field(repr=False, default_factory=list)
     sim_time: float = 0.0
     finished: bool = True
+    events: int = 0
 
     @property
     def wait_mean(self) -> float:
@@ -57,7 +67,8 @@ def build_population(workload: WorkloadConfig, seed: int
 
 
 def drive(grid: DesktopGrid, workload: WorkloadConfig,
-          stream: list[ScheduledJob], max_time: float = 1e6) -> bool:
+          stream: list[ScheduledJob],
+          max_time: float = DEFAULT_MAX_TIME) -> bool:
     """Create clients, schedule the whole stream, and run to completion."""
     clients = [grid.client(f"client-{i}") for i in range(workload.n_clients)]
     for sj in stream:
@@ -70,7 +81,8 @@ def drive(grid: DesktopGrid, workload: WorkloadConfig,
 def run_workload(workload: WorkloadConfig, matchmaker: str, seed: int = 1,
                  grid_cfg: GridConfig | None = None,
                  mm_kwargs: dict[str, Any] | None = None,
-                 max_time: float = 1e6, telemetry=None) -> RunOutcome:
+                 max_time: float = DEFAULT_MAX_TIME,
+                 telemetry=None) -> RunOutcome:
     """Run one (workload, matchmaker, seed) cell and summarize it.
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) attaches the
@@ -94,25 +106,50 @@ def run_workload(workload: WorkloadConfig, matchmaker: str, seed: int = 1,
         node_exec_counts=counts,
         sim_time=grid.sim.now,
         finished=finished,
+        events=grid.sim.events_processed,
     )
+
+
+def aggregate_outcomes(outcomes: list[RunOutcome]) -> dict[str, float]:
+    """Mean-of-replicates summary of one cell group.
+
+    ``wait_std`` is averaged across replicates (each replicate's stdev is
+    the within-run dispersion the paper plots), not pooled.  Truncated
+    replicates (``max_time`` hit before the workload drained) are loudly
+    flagged — the summary still averages them, but ``all_finished`` drops
+    to 0.0 and a warning is logged, because truncated waits understate
+    the truth.
+    """
+    keys = outcomes[0].summary.keys()
+    agg = {k: float(np.mean([o.summary[k] for o in outcomes])) for k in keys}
+    agg["replicates"] = float(len(outcomes))
+    truncated = [o for o in outcomes if not o.finished]
+    agg["all_finished"] = float(not truncated)
+    if truncated:
+        log.warning(
+            "%d of %d replicate(s) for matchmaker %r hit max_time before "
+            "draining (seeds %s); the averaged summary includes truncated "
+            "runs and understates wait times",
+            len(truncated), len(outcomes), outcomes[0].matchmaker,
+            [o.seed for o in truncated])
+    return agg
 
 
 def run_replicates(workload: WorkloadConfig, matchmaker: str,
                    seeds: tuple[int, ...] = (1, 2, 3),
                    mm_kwargs: dict[str, Any] | None = None,
-                   max_time: float = 1e6, telemetry=None) -> dict[str, float]:
+                   max_time: float = DEFAULT_MAX_TIME, telemetry=None,
+                   jobs: int | None = None) -> dict[str, float]:
     """Mean-of-replicates summary over multiple seeds.
 
-    ``wait_std`` is averaged across replicates (each replicate's stdev is
-    the within-run dispersion the paper plots), not pooled.  A shared
-    ``telemetry`` instance accumulates metrics over every replicate.
+    A shared ``telemetry`` instance accumulates metrics over every
+    replicate.  ``jobs`` fans the replicates out over worker processes
+    (see :mod:`repro.experiments.parallel`); outcomes are identical to
+    the serial run because each seed owns its RNG streams.
     """
-    outcomes = [run_workload(workload, matchmaker, seed=s,
-                             mm_kwargs=mm_kwargs, max_time=max_time,
-                             telemetry=telemetry)
-                for s in seeds]
-    keys = outcomes[0].summary.keys()
-    agg = {k: float(np.mean([o.summary[k] for o in outcomes])) for k in keys}
-    agg["replicates"] = float(len(outcomes))
-    agg["all_finished"] = float(all(o.finished for o in outcomes))
-    return agg
+    outcomes = map_cells(
+        run_workload,
+        [call(workload, matchmaker, seed=s, mm_kwargs=mm_kwargs,
+              max_time=max_time) for s in seeds],
+        jobs=jobs, telemetry=telemetry)
+    return aggregate_outcomes(outcomes)

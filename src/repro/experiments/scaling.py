@@ -18,7 +18,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.parallel import call, map_cells
 from repro.experiments.runner import run_workload
+from repro.grid.system import DEFAULT_MAX_TIME
 from repro.metrics.report import format_table
 from repro.workloads.spec import FIGURE2_SCENARIOS
 
@@ -69,12 +71,16 @@ class ScalingResult:
 def run_scaling_experiment(sizes: tuple[int, ...] = (64, 128, 256, 512),
                            matchmakers: tuple[str, ...] = ("rn-tree", "can-push"),
                            seed: int = 1, scenario: str = "mixed-heavy",
-                           max_time: float = 1e6) -> ScalingResult:
+                           max_time: float = DEFAULT_MAX_TIME,
+                           jobs: int | None = None) -> ScalingResult:
     base = FIGURE2_SCENARIOS[scenario]
     result = ScalingResult(sizes=sizes, matchmakers=matchmakers)
-    for n in sizes:
-        workload = base.scaled(n / base.n_nodes)
-        for mm in matchmakers:
-            result.cells[(mm, n)] = run_workload(
-                workload, mm, seed=seed, max_time=max_time).summary
+    groups = [(n, mm) for n in sizes for mm in matchmakers]
+    outcomes = map_cells(
+        run_workload,
+        [call(base.scaled(n / base.n_nodes), mm, seed=seed,
+              max_time=max_time) for n, mm in groups],
+        jobs=jobs)
+    for (n, mm), outcome in zip(groups, outcomes):
+        result.cells[(mm, n)] = outcome.summary
     return result

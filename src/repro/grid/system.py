@@ -25,6 +25,12 @@ from repro.sim.trace import NULL_TRACE, TraceRecorder
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.util.rng import RngStreams
 
+#: Default virtual-time budget for "run until the workload drains".  One
+#: constant shared by :meth:`DesktopGrid.run_until_done` and the experiment
+#: drivers (``runner.drive`` / ``run_workload``) — these used to disagree
+#: (1e7 vs 1e6), so the effective budget depended on the entry point.
+DEFAULT_MAX_TIME = 1e6
+
 
 @dataclass
 class GridConfig:
@@ -342,7 +348,8 @@ class DesktopGrid:
     def run(self, until: float | None = None) -> int:
         return self.sim.run(until=until)
 
-    def run_until_done(self, max_time: float = 1e7, chunk: float = 500.0) -> bool:
+    def run_until_done(self, max_time: float = DEFAULT_MAX_TIME,
+                       chunk: float = 500.0) -> bool:
         """Advance until every submitted job reached a terminal state.
 
         Returns True on success, False if ``max_time`` elapsed first.

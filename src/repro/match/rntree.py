@@ -23,6 +23,8 @@ An aggregation tree embedded in a Chord ring:
 
 from __future__ import annotations
 
+import bisect
+import heapq
 from typing import TYPE_CHECKING
 
 from repro.dht.chord import ChordOverlay
@@ -60,6 +62,14 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         self.random_walk_len = random_walk_len
         self.chord: ChordOverlay | None = None
         self.tree: dict[int, _TreeNode] = {}
+        #: Parent-probe index for incremental maintenance: every ring
+        #: point a node evaluated while computing its parent, as a sorted
+        #: ``(point, node_id)`` list plus a per-node reverse map.  A churn
+        #: event at id W only changes ``successor(t)`` for ``t`` in the
+        #: arc ``(pred(W), W]``, so only nodes probing that arc can
+        #: re-parent — everyone else's tree edge is provably unchanged.
+        self._probe_list: list[tuple[int, int]] = []
+        self._probe_points: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -75,26 +85,43 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
 
     def _rebuild_tree(self) -> None:
         self.tree = {}
+        self._probe_list = []
+        self._probe_points = {}
         for node in self.chord.live_nodes():
             self.tree[node.node_id] = _TreeNode(node.node_id)
         for tnode in self.tree.values():
-            tnode.parent_id = self._parent_of(tnode.node_id)
+            parent_id, probes = self._parent_probes(tnode.node_id)
+            tnode.parent_id = parent_id
+            self._probe_points[tnode.node_id] = tuple(probes)
+            for pt in probes:
+                self._probe_list.append((pt, tnode.node_id))
+        self._probe_list.sort()
         for tnode in self.tree.values():
             if tnode.parent_id is not None:
                 self.tree[tnode.parent_id].children.append(tnode.node_id)
         self._recompute_aggregates()
 
     def _parent_of(self, node_id: int) -> int | None:
-        """Clear the lowest set bit until the successor differs from us."""
+        return self._parent_probes(node_id)[0]
+
+    def _parent_probes(self, node_id: int) -> tuple[int | None, list[int]]:
+        """Clear the lowest set bit until the successor differs from us.
+
+        Also returns every ring point probed along the way — the probe
+        index needs them to find nodes whose parent a churn event at a
+        given arc can change.
+        """
         x = node_id
+        probes: list[int] = []
         while x:
             x &= x - 1  # clear lowest set bit
+            probes.append(x)
             succ = self.chord.successor_of(x)
             if succ is not None and succ.node_id != node_id:
-                return succ.node_id
+                return succ.node_id, probes
             if x == 0:
                 break
-        return None  # we are successor(0): the root
+        return None, probes  # we are successor(0): the root
 
     def _recompute_aggregates(self) -> None:
         """Bottom-up max aggregation.  Parent ids are strictly smaller than
@@ -110,6 +137,118 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
             tnode.subtree_max = tuple(best)
             if tnode.parent_id is not None and tnode.parent_id not in self.tree:
                 raise AssertionError("dangling parent pointer")
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (dirty-path aggregation, probe index)
+    # ------------------------------------------------------------------
+
+    def _forget_probes(self, node_id: int) -> None:
+        for pt in self._probe_points.pop(node_id, ()):
+            idx = bisect.bisect_left(self._probe_list, (pt, node_id))
+            if idx < len(self._probe_list) \
+                    and self._probe_list[idx] == (pt, node_id):
+                self._probe_list.pop(idx)
+
+    def _record_probes(self, node_id: int, probes: list[int]) -> None:
+        self._probe_points[node_id] = tuple(probes)
+        for pt in probes:
+            bisect.insort(self._probe_list, (pt, node_id))
+
+    def _probers_in_arc(self, a: int, b: int) -> list[int]:
+        """Node ids holding a parent probe in the ring interval ``(a, b]``."""
+        pl = self._probe_list
+
+        def points_in(lo_pt: int, hi_pt: int) -> list[int]:
+            lo = bisect.bisect_right(pl, lo_pt, key=lambda t: t[0])
+            hi = bisect.bisect_right(pl, hi_pt, key=lambda t: t[0])
+            return [nid for _, nid in pl[lo:hi]]
+
+        if a < b:
+            out = points_in(a, b)
+        else:  # wrapped arc
+            top = (1 << self.chord.bits) - 1
+            out = points_in(a, top) + points_in(-1, b)
+        return sorted(set(out))
+
+    def _reassign_parent(self, node_id: int, dirty: set[int]) -> None:
+        """Recompute one node's parent edge, updating the probe index and
+        children lists; both old and new parents join the dirty set."""
+        tnode = self.tree.get(node_id)
+        if tnode is None:
+            return
+        new_parent, probes = self._parent_probes(node_id)
+        self._forget_probes(node_id)
+        self._record_probes(node_id, probes)
+        if new_parent == tnode.parent_id:
+            return
+        old_parent = tnode.parent_id
+        if old_parent is not None and old_parent in self.tree:
+            self.tree[old_parent].children.remove(node_id)
+            dirty.add(old_parent)
+        tnode.parent_id = new_parent
+        if new_parent is not None:
+            bisect.insort(self.tree[new_parent].children, node_id)
+            dirty.add(new_parent)
+
+    def _propagate(self, dirty: set[int]) -> None:
+        """Recompute subtree maxima upward from the dirty nodes, stopping
+        wherever the aggregate comes out unchanged.  Parent ids are
+        strictly smaller than child ids, so popping a max-heap visits
+        children before their parents (a valid topological order)."""
+        grid = self._require_grid()
+        heap = [-nid for nid in dirty if nid in self.tree]
+        heapq.heapify(heap)
+        seen = set(heap)
+        while heap:
+            nid = -heapq.heappop(heap)
+            tnode = self.tree[nid]
+            best = list(grid.nodes[nid].capability)
+            for child_id in tnode.children:
+                for d, v in enumerate(self.tree[child_id].subtree_max):
+                    if v > best[d]:
+                        best[d] = v
+            new = tuple(best)
+            if new == tnode.subtree_max:
+                continue
+            tnode.subtree_max = new
+            pid = tnode.parent_id
+            if pid is not None and -pid not in seen:
+                seen.add(-pid)
+                heapq.heappush(heap, -pid)
+
+    def _tree_remove(self, dead_id: int) -> None:
+        """Splice a crashed node out (chord membership already updated)."""
+        dead = self.tree.pop(dead_id, None)
+        if dead is None:
+            return
+        self._forget_probes(dead_id)
+        dirty: set[int] = set()
+        if dead.parent_id is not None and dead.parent_id in self.tree:
+            self.tree[dead.parent_id].children.remove(dead_id)
+            dirty.add(dead.parent_id)
+        pred = self.chord.predecessor_id(dead_id)
+        for nid in self._probers_in_arc(pred, dead_id):
+            self._reassign_parent(nid, dirty)
+        self._propagate(dirty)
+
+    def _tree_insert(self, new_id: int) -> None:
+        """Splice a joined node in (chord membership already updated)."""
+        if new_id in self.tree:
+            return
+        tnode = _TreeNode(new_id)
+        self.tree[new_id] = tnode
+        parent_id, probes = self._parent_probes(new_id)
+        tnode.parent_id = parent_id
+        self._record_probes(new_id, probes)
+        dirty: set[int] = {new_id}
+        if parent_id is not None:
+            bisect.insort(self.tree[parent_id].children, new_id)
+            dirty.add(parent_id)
+        pred = self.chord.predecessor_id(new_id)
+        for nid in self._probers_in_arc(pred, new_id):
+            if nid != new_id:
+                self._reassign_parent(nid, dirty)
+        self._propagate(dirty)
 
     # ------------------------------------------------------------------
     # owner mapping (uniform GUID hash over the Chord ring)
@@ -214,9 +353,11 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
     # ------------------------------------------------------------------
 
     def on_crash(self, node) -> None:
-        self.chord.crash(node.node_id)
-        self.chord.repair()
-        self._rebuild_tree()
+        self.chord.crash_repair(node.node_id)
+        if self.chord.size <= 2:
+            self._rebuild_tree()
+            return
+        self._tree_remove(node.node_id)
 
     def on_join(self, node) -> None:
         if node.node_id in self.chord.nodes:
@@ -224,4 +365,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         else:  # pragma: no cover - populations are fixed in current drivers
             from repro.dht.chord.node import ChordNode
             self.chord.oracle_join(ChordNode(node.node_id))
-        self._rebuild_tree()
+        if self.chord.size <= 3:
+            self._rebuild_tree()
+            return
+        self._tree_insert(node.node_id)

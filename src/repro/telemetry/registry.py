@@ -138,6 +138,24 @@ class Histogram:
             "max": self.max if self.count else math.nan,
         }
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket edges — merging differently-bucketed
+        histograms would silently misbin, so that is an error.
+        """
+        if self.edges != other.edges:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket edges differ")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
 
@@ -212,6 +230,61 @@ class MetricsRegistry:
             else:
                 out["histograms"][name] = m.snapshot()
         return out
+
+    # -- cross-process transfer -------------------------------------------
+
+    def state(self) -> dict[str, tuple]:
+        """Full-fidelity, picklable dump — unlike :meth:`snapshot`, which
+        reduces histograms to summary statistics, this preserves bucket
+        counts so a :meth:`merge` on the receiving side is lossless."""
+        out: dict[str, tuple] = {}
+        for name, m in self._metrics.items():
+            if isinstance(m, Counter):
+                out[name] = ("counter", m.value)
+            elif isinstance(m, Gauge):
+                out[name] = ("gauge", m.value, m.hwm)
+            else:
+                out[name] = ("histogram", m.edges, tuple(m.buckets),
+                             m.count, m.total, m.min, m.max)
+        return out
+
+    def merge(self, state: "MetricsRegistry | dict[str, tuple]") -> None:
+        """Fold a :meth:`state` dump (or another registry) into this one.
+
+        Counters add; gauges take the incoming value (last-write-wins in
+        merge order) with high-water marks combined by max; histograms
+        merge bucket-wise (identical edges required).  Merging the states
+        of per-worker registries in cell-submission order reproduces
+        exactly the metrics a single shared registry would have seen
+        running the same cells serially.
+        """
+        if isinstance(state, MetricsRegistry):
+            state = state.state()
+        for name, entry in state.items():
+            kind = entry[0]
+            if kind == "counter":
+                self.counter(name).inc(entry[1])
+            elif kind == "gauge":
+                g = self.gauge(name)
+                g.value = float(entry[1])
+                if entry[2] > g.hwm:
+                    g.hwm = entry[2]
+            elif kind == "histogram":
+                _, edges, buckets, count, total, mn, mx = entry
+                h = self.histogram(name, edges)
+                if h.edges != tuple(edges):
+                    raise ValueError(f"cannot merge histogram {name!r}: "
+                                     "bucket edges differ")
+                for i, n in enumerate(buckets):
+                    h.buckets[i] += n
+                h.count += count
+                h.total += total
+                if mn < h.min:
+                    h.min = mn
+                if mx > h.max:
+                    h.max = mx
+            else:  # pragma: no cover - corrupted transfer
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 
     def clear(self) -> None:
         self._metrics.clear()

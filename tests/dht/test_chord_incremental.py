@@ -1,0 +1,111 @@
+"""Incremental oracle splices must equal a full oracle repair.
+
+``crash_repair`` and the strengthened ``oracle_join`` claim to leave
+every live node's pointers exactly as ``repair()`` (a full O(N·B) sweep)
+would.  These tests churn a ring through both code paths and compare
+successor lists, predecessors, and all finger tables node-by-node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordOverlay
+from repro.dht.chord.node import ChordNode
+from repro.util.ids import guid_for
+
+
+def _pointers(overlay: ChordOverlay) -> dict:
+    out = {}
+    for node in overlay.live_nodes():
+        out[node.node_id] = (
+            [s.node_id for s in node.successors],
+            None if node.predecessor is None else node.predecessor.node_id,
+            [None if f is None else f.node_id for f in node.fingers],
+        )
+    return out
+
+
+def _build_pair(n: int, seed: int) -> tuple[ChordOverlay, ChordOverlay, list[int]]:
+    ids = sorted({guid_for(f"inc-{seed}-{i}") for i in range(n)})
+    fast = ChordOverlay(np.random.default_rng(seed))
+    slow = ChordOverlay(np.random.default_rng(seed))
+    fast.build(ids)
+    slow.build(ids)
+    return fast, slow, ids
+
+
+class TestCrashRepair:
+    @pytest.mark.parametrize("n", [12, 60])
+    def test_matches_crash_plus_repair(self, n):
+        fast, slow, ids = _build_pair(n, seed=n)
+        rng = np.random.default_rng(n)
+        crashed: list[int] = []
+        for step in range(3 * n):
+            if len(fast._live_ids) > 3 and (not crashed or rng.random() < 0.5):
+                victim = int(fast._live_ids[
+                    int(rng.integers(0, len(fast._live_ids)))])
+                fast.crash_repair(victim)
+                slow.crash(victim)
+                slow.repair()
+                crashed.append(victim)
+            else:
+                back = crashed.pop(int(rng.integers(0, len(crashed))))
+                fast.recover(back)  # oracle_join splice
+                old = slow.nodes.pop(back)
+                assert not old.alive
+                fresh = ChordNode(back)
+                slow.nodes[back] = fresh
+                fresh.alive = True
+                slow._insert_live_id(back)
+                slow.repair()
+            assert _pointers(fast) == _pointers(slow), f"diverged at {step}"
+
+    def test_idempotent_on_dead_node(self):
+        fast, _, ids = _build_pair(10, seed=4)
+        fast.crash_repair(ids[0])
+        before = _pointers(fast)
+        fast.crash_repair(ids[0])  # already dead: no-op
+        assert _pointers(fast) == before
+
+    def test_splice_is_a_repair_fixed_point(self):
+        # After any splice, running the full repair must change nothing.
+        fast, _, ids = _build_pair(40, seed=7)
+        rng = np.random.default_rng(11)
+        for _ in range(15):
+            victim = int(fast._live_ids[
+                int(rng.integers(0, len(fast._live_ids)))])
+            fast.crash_repair(victim)
+        spliced = _pointers(fast)
+        fast.repair()
+        assert _pointers(fast) == spliced
+
+
+class TestOracleJoinSplice:
+    def test_join_matches_full_repair(self):
+        fast, slow, _ = _build_pair(30, seed=2)
+        for i in range(12):
+            nid = guid_for(f"joiner-{i}")
+            fast.oracle_join(ChordNode(nid))
+            n2 = ChordNode(nid)
+            slow.nodes[nid] = n2
+            n2.alive = True
+            slow._insert_live_id(nid)
+            slow.repair()
+            assert _pointers(fast) == _pointers(slow)
+
+    def test_tiny_ring_growth(self):
+        # n <= r+1 path: the splice degenerates to full repair.
+        fast = ChordOverlay(np.random.default_rng(0), successor_list_len=4)
+        slow = ChordOverlay(np.random.default_rng(0), successor_list_len=4)
+        first = guid_for("tiny-0")
+        fast.build([first])
+        slow.build([first])
+        for i in range(1, 8):
+            nid = guid_for(f"tiny-{i}")
+            fast.oracle_join(ChordNode(nid))
+            n2 = ChordNode(nid)
+            slow.nodes[nid] = n2
+            n2.alive = True
+            slow._insert_live_id(nid)
+            slow.repair()
+            assert _pointers(fast) == _pointers(slow)

@@ -1,0 +1,110 @@
+"""The parallel sweep engine: fan-out determinism and telemetry fold-back.
+
+The load-bearing claim is that ``jobs=N`` produces *bit-identical*
+per-cell outcomes to the serial loop — every cell re-derives its RNG from
+(seed, stream-name), so process boundaries cannot change a single draw.
+"""
+
+import logging
+import math
+
+import pytest
+
+from repro.experiments.parallel import call, map_cells, resolve_jobs
+from repro.experiments.runner import (
+    aggregate_outcomes,
+    run_replicates,
+    run_workload,
+)
+from repro.workloads.spec import FIGURE2_SCENARIOS
+
+#: Tiny but non-trivial: ~30 nodes / 150 jobs per cell.
+WL = FIGURE2_SCENARIOS["mixed-light"].scaled(0.03)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) >= 1
+
+    def test_garbage_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs() == 1
+
+
+class TestMapCells:
+    def test_preserves_submission_order(self):
+        out = map_cells(_square, [call(i) for i in range(8)], jobs=1)
+        assert out == [i * i for i in range(8)]
+
+    def test_parallel_preserves_submission_order(self):
+        out = map_cells(_square, [call(i) for i in range(8)], jobs=4)
+        assert out == [i * i for i in range(8)]
+
+    def test_parallel_cells_bit_identical_to_serial(self):
+        calls = [call(WL, "rn-tree", seed=s) for s in (1, 2, 3, 4)]
+        serial = map_cells(run_workload, calls, jobs=1)
+        fanned = map_cells(run_workload, calls, jobs=4)
+        for a, b in zip(serial, fanned):
+            assert a.summary == b.summary
+            assert a.finished == b.finished
+            assert a.events == b.events
+
+    def test_run_replicates_jobs_matches_serial(self):
+        a = run_replicates(WL, "centralized", seeds=(1, 2), jobs=1)
+        b = run_replicates(WL, "centralized", seeds=(1, 2), jobs=2)
+        assert a == b
+
+    def test_worker_metrics_fold_into_parent(self):
+        from repro.telemetry.core import Telemetry
+
+        t_serial, t_fan = Telemetry(), Telemetry()
+        calls = [call(WL, "centralized", seed=s) for s in (1, 2)]
+        map_cells(run_workload, calls, jobs=1, telemetry=t_serial)
+        map_cells(run_workload, calls, jobs=2, telemetry=t_fan)
+        a, b = t_serial.metrics.state(), t_fan.metrics.state()
+        assert set(a) == set(b)
+        for name in a:
+            if a[name][0] == "histogram":
+                # buckets/count/min/max exact; the running total is a
+                # float sum whose grouping differs across workers.
+                assert a[name][1:4] == b[name][1:4]
+                assert a[name][4] == pytest.approx(b[name][4])
+                assert a[name][5:] == b[name][5:]
+            else:
+                assert a[name] == b[name]
+
+
+class TestAggregation:
+    def test_truncated_replicates_warn_and_flag(self, caplog):
+        outcomes = [run_workload(WL, "rn-tree", seed=1, max_time=30.0)]
+        assert not outcomes[0].finished
+        with caplog.at_level(logging.WARNING, logger="repro.experiments"):
+            agg = aggregate_outcomes(outcomes)
+        assert agg["all_finished"] == 0.0
+        assert any("hit max_time" in r.getMessage() for r in caplog.records)
+
+    def test_drained_replicates_do_not_warn(self, caplog):
+        outcomes = [run_workload(WL, "centralized", seed=1)]
+        assert outcomes[0].finished
+        with caplog.at_level(logging.WARNING, logger="repro.experiments"):
+            agg = aggregate_outcomes(outcomes)
+        assert agg["all_finished"] == 1.0
+        assert not caplog.records
+        assert not math.isnan(agg["wait_mean"])
+
+
+def _square(x):
+    return x * x

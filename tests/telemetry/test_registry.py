@@ -93,3 +93,71 @@ class TestSnapshot:
         reg.counter("rpc.calls")
         assert reg.names("net.sent.") == ["net.sent.assign", "net.sent.result"]
         assert len(reg.counters("net.")) == 2
+
+
+class TestStateMerge:
+    """Cross-process transfer: state() -> merge() must be lossless."""
+
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("net.sent").inc(3)
+        b.counter("net.sent").inc(4)
+        b.counter("net.lost").inc()
+        a.merge(b.state())
+        assert a.counter("net.sent").value == 7
+        assert a.counter("net.lost").value == 1
+
+    def test_gauges_last_write_wins_hwm_folds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(9)
+        a.gauge("depth").set(2)
+        b.gauge("depth").set(5)
+        a.merge(b.state())
+        assert a.gauge("depth").value == 5
+        assert a.gauge("depth").hwm == 9
+
+    def test_histogram_merge_equals_single_registry(self):
+        xs = [0, 1, 1, 2, 5, 9, 40, 200, 3, 3]
+        one = MetricsRegistry()
+        for x in xs:
+            one.histogram("hops").observe(x)
+        parts = [MetricsRegistry() for _ in range(3)]
+        for i, x in enumerate(xs):
+            parts[i % 3].histogram("hops").observe(x)
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge(part.state())
+        h1, h2 = one.histogram("hops"), merged.histogram("hops")
+        assert h2.buckets == h1.buckets
+        assert h2.count == h1.count
+        assert (h2.min, h2.max) == (h1.min, h1.max)
+        for q in (50, 95, 99, 100):
+            assert h2.percentile(q) == h1.percentile(q)
+
+    def test_histogram_edge_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", edges=(1, 2, 4)).observe(1)
+        b.histogram("h", edges=(1, 2, 8)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge(b.state())
+
+    def test_direct_histogram_merge_edge_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1, 2)).merge(Histogram("h", edges=(1, 3)))
+
+    def test_state_round_trips_through_pickle(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(7)
+        state = pickle.loads(pickle.dumps(reg.state()))
+        fresh = MetricsRegistry()
+        fresh.merge(state)
+        assert fresh.state() == reg.state()
+
+    def test_unknown_kind_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.merge({"x": ("thermometer", 98.6)})

@@ -21,10 +21,21 @@ against a recorded baseline (``BENCH_perf.baseline.json``).
                              "speedup_vs_serial": ...},
         "kernel.event_loop": {"wall_s": ..., "sim_events": ...,
                               "events_per_s": ...},
+        "net.message_throughput": {"wall_s": ..., "messages": ...,
+                                   "msgs_per_s": ...},
+        "latency.sampling":  {"wall_s": ..., "samples": ...,
+                              "samples_per_s": ...},
+        "grid.steady_state": {"wall_s": ..., "sim_events": ...,
+                              "events_per_s": ..., "n_nodes": ...},
         "rntree.churn_maintenance": {"wall_s": ..., "churn_ops": ...,
                                      "ops_per_s": ..., "n_nodes": ...}
       }
     }
+
+Cells named under ``SCALE_FREE_CELLS`` use fixed internal sizes, so their
+throughput numbers are comparable across runs regardless of
+``REPRO_BENCH_SCALE`` (``diff_perf.py`` relies on this to compare a CI
+run against a baseline recorded at a different scale).
 
 The measurement loops live here (not in the test file) so a baseline can
 be recorded with *exactly* the code a later comparison uses.
@@ -45,6 +56,24 @@ PERF_SCHEMA = 1
 REPORT_DIR = Path(__file__).parent / "reports"
 PERF_PATH = REPORT_DIR / "BENCH_perf.json"
 BASELINE_PATH = REPORT_DIR / "BENCH_perf.baseline.json"
+
+#: Cells whose workload size does not depend on REPRO_BENCH_SCALE, and
+#: the throughput metric each one reports.
+SCALE_FREE_CELLS: dict[str, str] = {
+    "net.message_throughput": "msgs_per_s",
+    "latency.sampling": "samples_per_s",
+    "grid.steady_state": "events_per_s",
+    "rntree.churn_maintenance": "ops_per_s",
+}
+
+#: The headline throughput metric of every known cell (scale-dependent
+#: cells are only comparable between runs at the same scale).
+THROUGHPUT_METRICS: dict[str, str] = {
+    "figure2.serial": "cells_per_s",
+    "figure2.parallel": "cells_per_s",
+    "kernel.event_loop": "events_per_s",
+    **SCALE_FREE_CELLS,
+}
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +114,105 @@ def bench_kernel_events(scale: float, seed: int = 1) -> dict[str, float]:
     events = grid.sim.events_processed
     return {"wall_s": wall, "sim_events": float(events),
             "events_per_s": events / wall}
+
+
+def bench_message_throughput(n_messages: int = 20000,
+                             seed: int = 3) -> dict[str, float]:
+    """Messages/sec through ``Network.send`` -> delivery with telemetry
+    counters attached — isolates the per-message allocation, latency
+    sampling, and counter-update cost of the kernel->network->telemetry
+    path.  Fixed size: comparable across ``REPRO_BENCH_SCALE`` values.
+    """
+    import numpy as np
+
+    from repro.sim.kernel import Simulator
+    from repro.sim.network import LatencyModel, Network
+    from repro.telemetry.core import Telemetry
+
+    kinds = ("heartbeat", "hb-ack", "assign", "result")
+
+    class Echo:
+        """Replies to every delivery until the message budget is spent."""
+
+        __slots__ = ("node_id", "alive", "net", "peer", "remaining")
+
+        def __init__(self, node_id, net, remaining):
+            self.node_id = node_id
+            self.alive = True
+            self.net = net
+            self.peer = None
+            self.remaining = remaining
+
+        def handle_message(self, msg):
+            n = self.remaining
+            if n > 0:
+                self.remaining = n - 1
+                self.net.send(kinds[n & 3], self.node_id, self.peer.node_id)
+
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    # Metrics on, per-message trace events filtered out: the counter path
+    # is what production-scale runs pay on every message.
+    tel = Telemetry(categories=("none",))
+    net = Network(sim, rng, LatencyModel(mean=0.01, jitter=0.3),
+                  telemetry=tel)
+    a = Echo(1, net, n_messages // 2)
+    b = Echo(2, net, n_messages - n_messages // 2 - 1)
+    a.peer, b.peer = b, a
+    net.register(a)
+    net.register(b)
+    t0 = perf_counter()
+    net.send(kinds[0], 1, 2)
+    sim.run()
+    wall = perf_counter() - t0
+    msgs = net.stats.sent
+    return {"wall_s": wall, "messages": float(msgs),
+            "msgs_per_s": msgs / wall}
+
+
+def bench_latency_sampling(n_samples: int = 200000,
+                           seed: int = 5) -> dict[str, float]:
+    """Samples/sec from ``LatencyModel.sample`` — the innermost cost of
+    every hop of every message and overlay route.  Fixed size."""
+    import numpy as np
+
+    from repro.sim.network import LatencyModel
+
+    model = LatencyModel(mean=0.05, jitter=0.3)
+    rng = np.random.default_rng(seed)
+    sample = model.sample
+    t0 = perf_counter()
+    acc = 0.0
+    for _ in range(n_samples):
+        acc += sample(rng)
+    wall = perf_counter() - t0
+    assert acc > 0
+    return {"wall_s": wall, "samples": float(n_samples),
+            "samples_per_s": n_samples / wall}
+
+
+def bench_grid_steady_state(scale: float = 0.08,
+                            seed: int = 2) -> dict[str, float]:
+    """Events/sec of a full protocol-heavy grid run: heartbeats, rpc load
+    probes, and acknowledged dispatch all enabled, so periodic-task and
+    rpc hot paths are on the clock.  Fixed (scaled-down) N: comparable
+    across ``REPRO_BENCH_SCALE`` values."""
+    from repro.experiments.runner import build_population, drive
+    from repro.grid.system import DesktopGrid, GridConfig
+    from repro.match import make_matchmaker
+    from repro.workloads.spec import FIGURE2_SCENARIOS
+
+    workload = FIGURE2_SCENARIOS["mixed-heavy"].scaled(scale)
+    nodes, stream = build_population(workload, seed)
+    cfg = GridConfig(seed=seed, spec=workload.spec, heartbeats_enabled=True,
+                     probe_mode="rpc", dispatch_ack=True)
+    grid = DesktopGrid(cfg, make_matchmaker("rn-tree"), nodes)
+    t0 = perf_counter()
+    drive(grid, workload, stream)
+    wall = perf_counter() - t0
+    events = grid.sim.events_processed
+    return {"wall_s": wall, "sim_events": float(events),
+            "events_per_s": events / wall, "n_nodes": float(workload.n_nodes)}
 
 
 def bench_rntree_maintenance(n_nodes: int = 150, cycles: int = 150,

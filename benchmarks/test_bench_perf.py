@@ -19,9 +19,11 @@ import os
 
 from conftest import BENCH_SCALE, BENCH_SEEDS
 from perf import (
-    PERF_PATH,
     bench_figure2,
+    bench_grid_steady_state,
     bench_kernel_events,
+    bench_latency_sampling,
+    bench_message_throughput,
     bench_rntree_maintenance,
     load_baseline,
     perf_document,
@@ -42,6 +44,9 @@ def test_perf_trajectory(benchmark):
             entries["figure2.serial"]["wall_s"]
             / entries["figure2.parallel"]["wall_s"])
         entries["kernel.event_loop"] = bench_kernel_events(BENCH_SCALE)
+        entries["net.message_throughput"] = bench_message_throughput()
+        entries["latency.sampling"] = bench_latency_sampling()
+        entries["grid.steady_state"] = bench_grid_steady_state()
         entries["rntree.churn_maintenance"] = bench_rntree_maintenance()
         return entries
 
@@ -75,6 +80,26 @@ def test_perf_trajectory(benchmark):
             f"RN-Tree maintenance regressed: {after['wall_s']:.3f}s vs "
             f"baseline {before['wall_s']:.3f}s for {after['churn_ops']:.0f} "
             "churn ops")
+
+    # Hot-path payoff gates: the message path is scale-free (fixed-size
+    # cell), so it must beat the committed pre-optimization baseline at
+    # any REPRO_BENCH_SCALE; the kernel cell is only comparable when run
+    # at the scale the baseline was recorded at.
+    if baseline is not None:
+        bent = baseline["entries"]
+        if "net.message_throughput" in bent:
+            before = bent["net.message_throughput"]["msgs_per_s"]
+            after = written["entries"]["net.message_throughput"]["msgs_per_s"]
+            assert after > before, (
+                f"message throughput regressed below the pre-optimization "
+                f"baseline: {after:.0f} msgs/s vs {before:.0f}")
+        if "kernel.event_loop" in bent and \
+                written["scale"] == baseline["scale"]:
+            before = bent["kernel.event_loop"]["events_per_s"]
+            after = written["entries"]["kernel.event_loop"]["events_per_s"]
+            assert after > before, (
+                f"kernel event loop regressed below the pre-optimization "
+                f"baseline: {after:.0f} events/s vs {before:.0f}")
 
 
 def test_perf_json_schema_roundtrip(tmp_path):

@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.grid.resources import Vector
 from repro.util.ids import guid_for
@@ -58,8 +59,12 @@ class JobProfile:
         if self.input_size_kb < 0 or self.output_size_kb < 0:
             raise ValueError("I/O sizes must be non-negative")
 
-    @property
+    @cached_property
     def guid(self) -> int:
+        # sha1-derived and immutable, but probed on every heartbeat, ack,
+        # and dispatch — computed once per profile instead of per access.
+        # (cached_property writes to __dict__ directly, which a frozen
+        # dataclass permits; the name field it hashes can never change.)
         return guid_for(self.name)
 
 

@@ -78,6 +78,12 @@ class GridNode:
         #: Per-client CPU seconds served here (fair-share discipline state).
         self.client_service: dict[int, float] = {}
 
+        # Cached telemetry counter + bus-filter flag for the heartbeat
+        # send path (resolved on first use; every node shares the grid's
+        # registry so these all point at the same Counter object).
+        self._tel_hb_ctr = None
+        self._tel_hb_wants: bool | None = None
+
     # ------------------------------------------------------------------
     # endpoint interface
     # ------------------------------------------------------------------
@@ -618,8 +624,12 @@ class GridNode:
                 sent += 1
         tel = self.grid.telemetry
         if sent and tel.enabled:
-            tel.metrics.counter("heartbeats.sent").inc(sent)
-            if tel.bus.wants("heartbeat"):
+            ctr = self._tel_hb_ctr
+            if ctr is None:
+                ctr = self._tel_hb_ctr = tel.metrics.counter("heartbeats.sent")
+                self._tel_hb_wants = tel.bus.wants("heartbeat")
+            ctr.inc(sent)
+            if self._tel_hb_wants:
                 tel.bus.record(self.grid.sim.now, "heartbeat",
                                node=self.name, jobs=sent)
 
@@ -689,6 +699,7 @@ class GridNode:
         if self._monitor_task is not None:
             self._monitor_task.stop()
             self._monitor_task = None
+        self.grid._live_cache = None
         self.grid.on_queue_change(self)
 
     def recover(self) -> None:
@@ -696,6 +707,7 @@ class GridNode:
         if self._alive:
             return
         self._alive = True
+        self.grid._live_cache = None
 
     def partition(self) -> None:
         """Become unreachable *without* losing state.
@@ -707,10 +719,12 @@ class GridNode:
         partition or laptop suspend, as opposed to a process death.
         """
         self._alive = False
+        self.grid._live_cache = None
 
     def heal(self) -> None:
         """Reconnect after :meth:`partition`, state intact."""
         self._alive = True
+        self.grid._live_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self._alive else "DOWN"

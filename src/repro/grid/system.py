@@ -42,6 +42,11 @@ class GridConfig:
     # Network.
     mean_latency: float = 0.05
     latency_jitter: float = 0.3
+    # Block size for chunked RNG sampling (latency draws, periodic-task
+    # phase jitter).  Values are bit-identical for any chunk size — this
+    # only trades vectorized-draw amortization against over-drawing at
+    # the end of short runs.  See repro.util.rng.
+    rng_chunk: int = 1024
 
     # Heartbeat / recovery protocol (§2).  Off by default: the load-balance
     # experiments (like the paper's) run failure-free and skip the traffic.
@@ -125,6 +130,8 @@ class GridConfig:
             raise ValueError("probe_fanout must be >= 1")
         if self.probe_timeout <= 0:
             raise ValueError("probe_timeout must be positive")
+        if self.rng_chunk < 1:
+            raise ValueError("rng_chunk must be >= 1")
 
 
 class DesktopGrid:
@@ -157,10 +164,17 @@ class DesktopGrid:
         else:
             self.trace = NULL_TRACE
         self.streams = RngStreams(cfg.seed)
-        self.rng_protocol = self.streams["protocol"]
+        #: Shared block sampler over the "protocol" stream.  Every
+        #: protocol timer (heartbeats, monitor sweeps, client watchdogs,
+        #: CAN refresh) draws its phase jitter through this one object, so
+        #: chunked pre-draws consume the stream exactly as the scalar
+        #: draws did — see repro.util.rng for the bit-equality argument.
+        self.rng_protocol = self.streams.uniform_sampler(
+            "protocol", cfg.rng_chunk)
         self.network = Network(
             self.sim, self.streams["network"],
-            LatencyModel(mean=cfg.mean_latency, jitter=cfg.latency_jitter),
+            LatencyModel(mean=cfg.mean_latency, jitter=cfg.latency_jitter,
+                         chunk=cfg.rng_chunk),
             telemetry=self.telemetry,
         )
         self.metrics = MetricsCollector()
@@ -178,6 +192,10 @@ class DesktopGrid:
 
         self.nodes: dict[int, GridNode] = {}
         self.node_list: list[GridNode] = []
+        #: Memoized live_nodes() result; invalidated on any liveness flip
+        #: (GridNode.crash/recover/partition/heal all reset it).  Scanning
+        #: N nodes per injection dominated failure-free profiles.
+        self._live_cache: list[GridNode] | None = None
         for name, cap in capabilities:
             cfg.spec.validate_capability(cap)
             node = GridNode(name, cap, self)
@@ -271,7 +289,7 @@ class DesktopGrid:
 
     def route_delay(self, hops: int) -> float:
         """Virtual-time cost of an overlay path of ``hops`` hops."""
-        return sum(self.network.hop_latency() for _ in range(hops))
+        return self.network.hop_latency_sum(hops)
 
     def match_delay(self, result: MatchResult) -> float:
         """Virtual-time cost of a matchmaking search: search hops in
@@ -325,7 +343,15 @@ class DesktopGrid:
         self.matchmaker.on_join(node)
 
     def live_nodes(self) -> list[GridNode]:
-        return [n for n in self.node_list if n.alive]
+        """Live grid nodes, in ``node_list`` order.
+
+        Returns a cached list (rebuilt only after a liveness change);
+        callers must treat it as read-only.
+        """
+        live = self._live_cache
+        if live is None:
+            live = self._live_cache = [n for n in self.node_list if n.alive]
+        return live
 
     def _random_live_node(self) -> GridNode | None:
         live = self.live_nodes()

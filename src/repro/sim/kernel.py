@@ -10,6 +10,13 @@ profiling showed that a plain ``heapq`` of ``(time, seq, handle)`` tuples is
 the fastest portable event loop in CPython, and every higher-level
 abstraction (periodic tasks, message delivery, job execution) composes out
 of one-shot callbacks.
+
+Cancelled events stay in the heap as tombstones (removing an arbitrary
+heap entry is O(n)); the kernel counts them and compacts the heap —
+filter + re-heapify, O(n) — once tombstones outnumber live entries, so
+long churny runs with many cancelled timeouts stop paying log-of-garbage
+on every pop.  Compaction never reorders live events: (time, seq) keys
+are unique, so the re-heapified queue pops in exactly the same order.
 """
 
 from __future__ import annotations
@@ -22,25 +29,39 @@ from typing import TYPE_CHECKING, Any, Callable
 if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.profile import KernelProfile
 
+#: Compaction trigger floor: below this many tombstones the dead entries
+#: cost less than the scan, so the kernel leaves the heap alone.
+COMPACT_MIN_TOMBSTONES = 64
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, fn: Callable, args: tuple):
+    def __init__(self, time: float, fn: Callable, args: tuple,
+                 sim: "Simulator | None" = None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Owning simulator while the entry is live in a heap (None once
+        #: fired or cancelled) — lets cancel() feed tombstone accounting.
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled-but-still-heaped events don't pin
         # large object graphs (e.g. whole jobs) in memory.
         self.fn = None
         self.args = ()
+        sim = self.sim
+        if sim is not None:
+            self.sim = None
+            sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -60,8 +81,10 @@ class Simulator:
         self.now = float(start_time)
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
+        self._tombstones = 0  # cancelled entries still in the heap
         self.events_processed = 0
         self.events_scheduled = 0
+        self.compactions = 0
         self._running = False
         #: Opt-in event-loop profiling (see :mod:`repro.telemetry.profile`).
         #: None keeps the original tight loop — the zero-overhead path is
@@ -74,7 +97,16 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # Inlined schedule_at (this is the hottest scheduling entry point;
+        # delay >= 0 already guarantees time >= now).
+        time = self.now + delay
+        if math.isnan(time) or math.isinf(time):
+            raise ValueError(f"invalid event time {time!r}")
+        handle = EventHandle(time, fn, args, self)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._seq += 1
+        self.events_scheduled += 1
+        return handle
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
@@ -82,11 +114,26 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         if math.isnan(time) or math.isinf(time):
             raise ValueError(f"invalid event time {time!r}")
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         heapq.heappush(self._heap, (time, self._seq, handle))
         self._seq += 1
         self.events_scheduled += 1
         return handle
+
+    # -- heap hygiene ----------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """One live heap entry became a tombstone; compact when cancelled
+        entries exceed half the queue (amortized O(1) per cancellation)."""
+        t = self._tombstones + 1
+        self._tombstones = t
+        heap = self._heap
+        if t >= COMPACT_MIN_TOMBSTONES and 2 * t > len(heap):
+            # In place (slice assignment): run() holds a local alias.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
+            self.compactions += 1
 
     # -- execution -------------------------------------------------------
 
@@ -103,26 +150,41 @@ class Simulator:
             raise RuntimeError("Simulator.run is not reentrant")
         self._running = True
         processed = 0
-        heap = self._heap
         try:
             if self.profile is not None:
                 processed = self._run_profiled(until, max_events)
             else:
-                while heap:
-                    time, _seq, handle = heap[0]
-                    if until is not None and time > until:
-                        break
-                    heapq.heappop(heap)
-                    if handle.cancelled:
-                        continue
-                    self.now = time
-                    fn, args = handle.fn, handle.args
-                    handle.cancel()  # mark fired; frees references
-                    fn(*args)
-                    processed += 1
-                    self.events_processed += 1
-                    if max_events is not None and processed >= max_events:
-                        break
+                # Hot loop: heappop and the heap itself live in locals;
+                # fired handles are cleared inline (cancel() would also
+                # bump the tombstone count, but a popped event is not a
+                # tombstone).
+                heap = self._heap
+                heappop = heapq.heappop
+                try:
+                    while heap:
+                        entry = heap[0]
+                        time = entry[0]
+                        if until is not None and time > until:
+                            break
+                        heappop(heap)
+                        handle = entry[2]
+                        if handle.cancelled:
+                            self._tombstones -= 1
+                            continue
+                        self.now = time
+                        fn = handle.fn
+                        args = handle.args
+                        # Mark fired; frees references.
+                        handle.cancelled = True
+                        handle.fn = None
+                        handle.args = ()
+                        handle.sim = None
+                        fn(*args)
+                        processed += 1
+                        if max_events is not None and processed >= max_events:
+                            break
+                finally:
+                    self.events_processed += processed
         finally:
             self._running = False
         if until is not None and self.now < until:
@@ -148,10 +210,15 @@ class Simulator:
                 break
             heapq.heappop(heap)
             if handle.cancelled:
+                self._tombstones -= 1
                 continue
             self.now = time
             fn, args = handle.fn, handle.args
-            handle.cancel()  # mark fired; frees references
+            # Mark fired; frees references (inline: see run()).
+            handle.cancelled = True
+            handle.fn = None
+            handle.args = ()
+            handle.sim = None
             site = getattr(fn, "__qualname__", None) or repr(fn)
             t0 = perf_counter()
             fn(*args)
@@ -174,11 +241,27 @@ class Simulator:
         """Number of heap entries (including cancelled tombstones)."""
         return len(self._heap)
 
+    @property
+    def live_pending(self) -> int:
+        """Heap size net of cancelled tombstones (events that will fire)."""
+        return len(self._heap) - self._tombstones
+
     def peek_time(self) -> float | None:
-        """Virtual time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        """Virtual time of the next live event, or None if the queue is empty.
+
+        Mid-:meth:`run` (a callback peeking at the queue) this scans
+        without mutating — ``run`` is iterating the same heap list, and
+        popping under it would skew the tombstone accounting; outside a
+        run it lazily pops leading tombstones as before.
+        """
+        heap = self._heap
+        if self._running:
+            times = [t for t, _seq, h in heap if not h.cancelled]
+            return min(times) if times else None
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self.now:.6g}, pending={self.pending})"

@@ -16,12 +16,15 @@ of traffic share one latency model.
 
 from __future__ import annotations
 
+import math
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
 import numpy as np
 
 from repro.sim.kernel import Simulator
+from repro.util.rng import DEFAULT_CHUNK, ChunkedLognormal
 
 
 class Endpoint(Protocol):
@@ -35,13 +38,14 @@ class Endpoint(Protocol):
     def handle_message(self, msg: "Message") -> None: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An application message.
 
     ``kind`` is a short protocol tag (e.g. ``"heartbeat"``); ``payload`` is
     protocol-specific.  ``src`` is the sender's node id so receivers can
-    reply without holding object references.
+    reply without holding object references.  Slotted: one is allocated
+    per send, so the per-instance ``__dict__`` was pure overhead.
     """
 
     kind: str
@@ -57,24 +61,63 @@ class LatencyModel:
     Defaults model a wide-area overlay: latency ~ mean 0.05 s with modest
     lognormal jitter, floored at ``minimum``.  A ``jitter`` of 0 makes the
     model deterministic (useful in unit tests).
+
+    Sampling draws lognormal variates in pre-drawn blocks of ``chunk``
+    (see :class:`repro.util.rng.ChunkedLognormal`) — bit-identical values
+    to scalar draws from the same generator, at a fraction of the cost.
+    The block buffer requires the model to be the generator's only
+    consumer, which holds for every stream wired here (``"network"`` is
+    sampled exclusively through :meth:`Network.hop_latency`).
     """
 
-    def __init__(self, mean: float = 0.05, jitter: float = 0.3, minimum: float = 0.002):
+    def __init__(self, mean: float = 0.05, jitter: float = 0.3,
+                 minimum: float = 0.002, chunk: int = DEFAULT_CHUNK):
         if mean <= 0:
             raise ValueError("mean latency must be positive")
         if jitter < 0:
             raise ValueError("jitter must be non-negative")
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
         self.mean = mean
         self.jitter = jitter
         self.minimum = minimum
+        self.chunk = chunk
+        # Lognormal with the requested mean: E[lognormal(mu, s)] = exp(mu + s^2/2)
+        self._mu = math.log(mean) - 0.5 * jitter * jitter
+        self._floor = mean if mean > minimum else minimum
+        #: id(rng) -> (rng, bound draw) so the public per-call API reuses
+        #: one block sampler per generator (the rng is kept alive so its
+        #: id cannot be recycled).
+        self._draws: dict[int, tuple[np.random.Generator, Callable[[], float]]] = {}
+
+    def sampler_for(self, rng: np.random.Generator) -> Callable[[], float]:
+        """A zero-arg bound sampler over ``rng`` (the hot-path form)."""
+        if self.jitter == 0.0:
+            floor = self._floor
+            return lambda: floor
+        sample = ChunkedLognormal(rng, self._mu, self.jitter,
+                                  self.chunk).sample
+        minimum = self.minimum
+
+        def draw() -> float:
+            v = sample()
+            return v if v > minimum else minimum
+
+        return draw
 
     def sample(self, rng: np.random.Generator) -> float:
         if self.jitter == 0.0:
-            return max(self.mean, self.minimum)
-        # Lognormal with the requested mean: E[lognormal(mu, s)] = exp(mu + s^2/2)
-        s = self.jitter
-        mu = np.log(self.mean) - 0.5 * s * s
-        return max(float(rng.lognormal(mu, s)), self.minimum)
+            return self._floor
+        entry = self._draws.get(id(rng))
+        if entry is None or entry[0] is not rng:
+            # New generator: start a fresh block sampler for it.  (An
+            # interleaved A/B/A pattern would restart A's buffer — no
+            # caller does that; each model serves one generator.)
+            draw = self.sampler_for(rng)
+            self._draws[id(rng)] = (rng, draw)
+        else:
+            draw = entry[1]
+        return draw()
 
 
 @dataclass
@@ -83,7 +126,9 @@ class NetworkStats:
     delivered: int = 0
     dropped_dead_dst: int = 0
     dropped_dead_src: int = 0
-    by_kind: dict[str, int] = field(default_factory=dict)
+    #: Messages by protocol tag.  A defaultdict so the send path updates
+    #: it with one indexed ``+= 1`` instead of a get-probe + store.
+    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
 
 class Network:
@@ -106,6 +151,21 @@ class Network:
         #: per-kind message counters plus (filtered-in) per-message events.
         self.telemetry = telemetry if telemetry is not None \
             and telemetry.enabled else None
+        #: Bound block sampler over the latency model + this rng — the
+        #: only reader of the stream, so block draws stay bit-identical.
+        self._draw_latency = self.latency.sampler_for(rng)
+        # Telemetry fast path: resolve counter objects and the bus filter
+        # once instead of per message (f-string + registry probe per send
+        # showed up in profiles).  ``_sent_counters`` fills lazily per kind.
+        self._sent_counters: dict[str, Any] = {}
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            self._ctr_delivered = metrics.counter("net.delivered")
+            self._ctr_dropped = metrics.counter("net.dropped")
+            self._trace_msgs = self.telemetry.bus.wants("net.msg")
+        else:
+            self._ctr_delivered = self._ctr_dropped = None
+            self._trace_msgs = False
 
     # -- membership ------------------------------------------------------
 
@@ -128,7 +188,16 @@ class Network:
 
     def hop_latency(self) -> float:
         """Sample one hop's latency (shared with DHT routing accounting)."""
-        return self.latency.sample(self.rng)
+        return self._draw_latency()
+
+    def hop_latency_sum(self, hops: int) -> float:
+        """Sum of ``hops`` independent hop latencies, summed in draw order
+        (bit-identical to ``sum(hop_latency() for _ in range(hops))``)."""
+        draw = self._draw_latency
+        total = 0.0
+        for _ in range(hops):
+            total += draw()
+        return total
 
     def send(self, kind: str, src: int, dst: int, payload: Any = None,
              on_delivered: Callable[[Message], None] | None = None) -> Message | None:
@@ -142,17 +211,22 @@ class Network:
         if src_ep is not None and not src_ep.alive:
             self.stats.dropped_dead_src += 1
             return None
-        msg = Message(kind=kind, src=src, dst=dst, payload=payload,
-                      send_time=self.sim.now)
-        self.stats.sent += 1
-        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        sim = self.sim
+        msg = Message(kind, src, dst, payload, sim.now)
+        stats = self.stats
+        stats.sent += 1
+        stats.by_kind[kind] += 1
         tel = self.telemetry
         if tel is not None:
-            tel.metrics.counter(f"net.sent.{kind}").inc()
-            if tel.bus.wants("net.msg"):
-                tel.bus.record(self.sim.now, "net.msg", kind=kind,
+            ctr = self._sent_counters.get(kind)
+            if ctr is None:
+                ctr = self._sent_counters[kind] = \
+                    tel.metrics.counter(f"net.sent.{kind}")
+            ctr.inc()
+            if self._trace_msgs:
+                tel.bus.record(sim.now, "net.msg", kind=kind,
                                src=src, dst=dst)
-        self.sim.schedule(self.hop_latency(), self._deliver, msg, on_delivered)
+        sim.schedule(self._draw_latency(), self._deliver, msg, on_delivered)
         return msg
 
     def _deliver(self, msg: Message,
@@ -160,12 +234,12 @@ class Network:
         dst_ep = self._endpoints.get(msg.dst)
         if dst_ep is None or not dst_ep.alive:
             self.stats.dropped_dead_dst += 1
-            if self.telemetry is not None:
-                self.telemetry.metrics.counter("net.dropped").inc()
+            if self._ctr_dropped is not None:
+                self._ctr_dropped.inc()
             return
         self.stats.delivered += 1
-        if self.telemetry is not None:
-            self.telemetry.metrics.counter("net.delivered").inc()
+        if self._ctr_delivered is not None:
+            self._ctr_delivered.inc()
         dst_ep.handle_message(msg)
         if on_delivered is not None:
             on_delivered(msg)

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.sim.kernel import EventHandle, Simulator
+from repro.util.rng import ChunkedUniform
 
 
 class PeriodicTask:
@@ -21,6 +22,11 @@ class PeriodicTask:
 
     Parameters
     ----------
+    rng:
+        Source of phase randomness: a ``numpy`` ``Generator``, or a
+        :class:`repro.util.rng.ChunkedUniform` block sampler (the grid
+        passes one shared sampler per stream — bit-identical values,
+        vectorized draws).  Only ``.uniform(low, high)`` is used.
     jitter:
         Fraction of ``interval`` used for uniform phase jitter on every
         firing (0 disables).  The *first* firing is additionally offset by a
@@ -28,7 +34,7 @@ class PeriodicTask:
     """
 
     def __init__(self, sim: Simulator, interval: float, fn: Callable[[], None],
-                 *, rng: np.random.Generator | None = None,
+                 *, rng: np.random.Generator | ChunkedUniform | None = None,
                  jitter: float = 0.0, stagger: bool = True,
                  start: bool = True):
         if interval <= 0:
@@ -43,6 +49,13 @@ class PeriodicTask:
         self.rng = rng
         self.jitter = jitter
         self.stagger = stagger
+        # Hot-path hoists: rescheduling happens once per firing per task,
+        # so the jitter window and the bound _fire reference are computed
+        # once here instead of per firing (creating a fresh bound-method
+        # object every firing was measurable at heartbeat scale).
+        self._lo = interval * (1 - jitter)
+        self._hi = interval * (1 + jitter)
+        self._fire_ref = self._fire
         self._handle: EventHandle | None = None
         self.firings = 0
         self.stopped = False
@@ -56,7 +69,7 @@ class PeriodicTask:
         first = self.interval
         if self.stagger and self.rng is not None:
             first = float(self.rng.uniform(0, self.interval))
-        self._handle = self.sim.schedule(first, self._fire)
+        self._handle = self.sim.schedule(first, self._fire_ref)
 
     def stop(self) -> None:
         self.stopped = True
@@ -66,9 +79,7 @@ class PeriodicTask:
 
     def _next_delay(self) -> float:
         if self.jitter and self.rng is not None:
-            lo = self.interval * (1 - self.jitter)
-            hi = self.interval * (1 + self.jitter)
-            return float(self.rng.uniform(lo, hi))
+            return float(self.rng.uniform(self._lo, self._hi))
         return self.interval
 
     def _fire(self) -> None:
@@ -78,4 +89,11 @@ class PeriodicTask:
         self.firings += 1
         self.fn()
         if not self.stopped:  # fn may have called stop()
-            self._handle = self.sim.schedule(self._next_delay(), self._fire)
+            # No-jitter tasks skip the rng branch (and _next_delay call)
+            # entirely: the common telemetry/maintenance timers reschedule
+            # with two attribute loads and a schedule().
+            if self.jitter:
+                delay = float(self.rng.uniform(self._lo, self._hi))
+            else:
+                delay = self.interval
+            self._handle = self.sim.schedule(delay, self._fire_ref)

@@ -12,6 +12,7 @@ dropped and surfaces only as a timeout at the caller.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -24,7 +25,9 @@ class RpcStats:
     calls: int = 0
     replies: int = 0
     timeouts: int = 0
-    by_method: dict[str, int] = field(default_factory=dict)
+    #: Calls by method name (defaultdict: single-probe update on the hot
+    #: call path, same reasoning as ``NetworkStats.by_kind``).
+    by_method: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
 
 class RpcLayer:
@@ -50,6 +53,16 @@ class RpcLayer:
         #: Optional Telemetry sink; call/reply/timeout counters by method.
         self.telemetry = telemetry if telemetry is not None \
             and telemetry.enabled else None
+        # Cached counter objects (see Network: per-call f-string + registry
+        # probes are the telemetry tax the hot path need not pay twice).
+        self._method_counters: dict[str, Any] = {}
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            self._ctr_calls = metrics.counter("rpc.calls")
+            self._ctr_replies = metrics.counter("rpc.replies")
+            self._ctr_timeouts = metrics.counter("rpc.timeouts")
+        else:
+            self._ctr_calls = self._ctr_replies = self._ctr_timeouts = None
 
     # -- server side -----------------------------------------------------
 
@@ -75,18 +88,23 @@ class RpcLayer:
         """
         req_id = self._next_id
         self._next_id += 1
-        self.stats.calls += 1
-        self.stats.by_method[method] = self.stats.by_method.get(method, 0) + 1
-        if self.telemetry is not None:
-            self.telemetry.metrics.counter("rpc.calls").inc()
-            self.telemetry.metrics.counter(f"rpc.method.{method}").inc()
+        stats = self.stats
+        stats.calls += 1
+        stats.by_method[method] += 1
+        if self._ctr_calls is not None:
+            self._ctr_calls.inc()
+            ctr = self._method_counters.get(method)
+            if ctr is None:
+                ctr = self._method_counters[method] = \
+                    self.telemetry.metrics.counter(f"rpc.method.{method}")
+            ctr.inc()
 
         def fire_timeout() -> None:
             if req_id in self._pending:
                 del self._pending[req_id]
                 self.stats.timeouts += 1
-                if self.telemetry is not None:
-                    self.telemetry.metrics.counter("rpc.timeouts").inc()
+                if self._ctr_timeouts is not None:
+                    self._ctr_timeouts.inc()
                 on_timeout()
 
         handle = self.sim.schedule(timeout or self.default_timeout, fire_timeout)
@@ -120,8 +138,8 @@ class RpcLayer:
                 on_reply, timeout_handle = pending
                 timeout_handle.cancel()
                 self.stats.replies += 1
-                if self.telemetry is not None:
-                    self.telemetry.metrics.counter("rpc.replies").inc()
+                if self._ctr_replies is not None:
+                    self._ctr_replies.inc()
                 on_reply(result)
             return True
         return False

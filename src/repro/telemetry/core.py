@@ -91,7 +91,7 @@ class Telemetry:
                          lambda: self._sample_load(grid), stagger=False)
 
     def _sample_load(self, grid: "DesktopGrid") -> None:
-        live = [n for n in grid.node_list if n.alive]
+        live = grid.live_nodes()
         depths = [n.queue_len for n in live]
         total = sum(depths)
         peak = max(depths) if depths else 0
@@ -100,6 +100,12 @@ class Telemetry:
         m.gauge("grid.queue_depth.total").set(total)
         m.gauge("grid.queue_depth.max").set(peak)
         m.histogram("grid.queue_depth.sampled").observe(peak)
+        # Kernel health: pending work net of tombstones, raw heap size,
+        # and how often compaction has had to run (heap hygiene signal).
+        sim = grid.sim
+        m.gauge("kernel.live_pending").set(sim.live_pending)
+        m.gauge("kernel.heap_len").set(len(sim._heap))
+        m.gauge("kernel.compactions").set(sim.compactions)
         if self.bus.wants("load.sample"):
             self.bus.record(grid.sim.now, "load.sample",
                             live_nodes=len(live), queued=total, max_queue=peak)

@@ -181,7 +181,16 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+        # Inlined _get: counter() is the registry's hottest entry point
+        # (every send/call/heartbeat site probes it at least once), so it
+        # skips the generic helper's extra frame.
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        elif type(metric) is not Counter:
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
+                            "not a Counter")
+        return metric
 
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
@@ -287,4 +296,12 @@ class MetricsRegistry:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 
     def clear(self) -> None:
+        """Drop every metric.
+
+        Hot-path layers (:class:`~repro.sim.network.Network`, the RPC
+        layer, grid nodes) cache metric *objects* resolved from this
+        registry; clearing while such a layer is live detaches those
+        handles from future snapshots.  Build a fresh Telemetry per run
+        instead of clearing mid-flight.
+        """
         self._metrics.clear()

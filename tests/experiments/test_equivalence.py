@@ -1,0 +1,80 @@
+"""Hot-path optimizations must not move a single bit of any experiment.
+
+Two families of guarantees:
+
+* **Chunk invariance** — the RNG block size is a pure performance knob:
+  ``rng_chunk=1`` (effectively scalar draws) and the default block size
+  produce byte-identical run outcomes.
+* **Golden fingerprints** — sha256 digests of full run outcomes captured
+  on the *pre-optimization* tree (before batched RNG, slotted messages,
+  cached counters, and heap compaction landed).  Matching them proves the
+  optimized simulator replays the exact event history the original did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.experiments.runner import run_workload
+from repro.grid.system import GridConfig
+from repro.workloads.spec import FIGURE2_SCENARIOS
+
+
+def fingerprint(out) -> str:
+    """sha256 over every numeric output a run produces."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(out.wait_times).tobytes())
+    h.update(np.ascontiguousarray(out.match_costs).tobytes())
+    h.update(json.dumps(out.node_exec_counts).encode())
+    h.update(repr(out.sim_time).encode())
+    h.update(repr(sorted(out.summary.items())).encode())
+    return h.hexdigest()
+
+
+def _workload():
+    return FIGURE2_SCENARIOS["clustered-light"].scaled(0.04)
+
+
+class TestChunkInvariance:
+    def test_rng_chunk_is_perf_only(self):
+        wl = _workload()
+        outs = []
+        for chunk in (1, 16, 1024):
+            cfg = GridConfig(seed=7, spec=wl.spec, rng_chunk=chunk,
+                             heartbeats_enabled=True, probe_mode="rpc",
+                             dispatch_ack=True)
+            outs.append(fingerprint(run_workload(wl, "rn-tree", seed=7,
+                                                 grid_cfg=cfg)))
+        assert outs[0] == outs[1] == outs[2]
+
+
+class TestPreOptimizationGoldens:
+    """Digests captured on this repo immediately before the hot-path
+    overhaul (same host/python/numpy as CI).  If one of these moves, an
+    'optimization' changed simulated behavior — that is a bug, not a
+    baseline refresh."""
+
+    def test_bare_oracle_run(self):
+        out = run_workload(_workload(), "rn-tree", seed=7)
+        assert fingerprint(out) == (
+            "3741fad47dbd298adca98a3a805dd151f18995c49c34e7371e53f620c17c07bb")
+
+    def test_heartbeats_rpc_ack_run(self):
+        wl = _workload()
+        cfg = GridConfig(seed=7, spec=wl.spec, heartbeats_enabled=True,
+                         probe_mode="rpc", dispatch_ack=True,
+                         client_resubmit_enabled=True)
+        out = run_workload(wl, "rn-tree", seed=7, grid_cfg=cfg)
+        assert fingerprint(out) == (
+            "c7ac01ec22f55bac59abd0e3e94585a51dda72c73f05831fcd40417993aaae82")
+
+    def test_centralized_fair_share_run(self):
+        wl = _workload()
+        cfg = GridConfig(seed=3, spec=wl.spec, queue_discipline="fair-share",
+                         heartbeats_enabled=True)
+        out = run_workload(wl, "centralized", seed=3, grid_cfg=cfg)
+        assert fingerprint(out) == (
+            "1efe1eca8cc4cd5d77345698be1cb822a3d08ca307a8084d6fab6f7fc737aa8c")

@@ -119,3 +119,81 @@ class TestRunBounds:
         sim.run()
         assert sim.events_scheduled == 3
         assert sim.events_processed == 3
+
+
+class TestHeapHygiene:
+    """Tombstone accounting, compaction, and mid-run peeking."""
+
+    def test_live_pending_counts_only_uncancelled(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.live_pending == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.live_pending == 6
+        assert len(sim._heap) == 10  # tombstones still buried in the heap
+
+    def test_compaction_evicts_tombstones(self, sim):
+        from repro.sim.kernel import COMPACT_MIN_TOMBSTONES
+
+        n = COMPACT_MIN_TOMBSTONES * 3
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(n)]
+        keep = handles[: n // 3]
+        for h in handles[n // 3:]:  # cancel 2/3: majority-tombstone trigger
+            h.cancel()
+        assert sim.compactions >= 1
+        # The heap shed tombstones (it no longer holds all n entries) and
+        # the live count is exact despite any re-accumulated tombstones.
+        assert len(sim._heap) < n
+        assert sim.live_pending == len(keep)
+        assert len(sim._heap) - len(keep) == sim._tombstones
+
+    def test_order_preserved_across_compaction(self, sim):
+        from repro.sim.kernel import COMPACT_MIN_TOMBSTONES
+
+        n = COMPACT_MIN_TOMBSTONES * 3 + 7
+        log = []
+        handles = []
+        # Interleave ties (FIFO-sensitive) with distinct times.
+        for i in range(n):
+            t = float(1 + i // 3)
+            handles.append(sim.schedule(t, log.append, i))
+        cancelled = {i for i in range(n) if i % 3 != 0}  # 2/3: past trigger
+        for i in sorted(cancelled):
+            handles[i].cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert log == [i for i in range(n) if i not in cancelled]
+
+    def test_few_tombstones_do_not_compact(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        for h in handles[:6]:
+            h.cancel()
+        assert sim.compactions == 0  # below the minimum-tombstone floor
+
+    def test_peek_time_mid_run_does_not_pop(self, sim):
+        seen = []
+
+        def probe():
+            # Cancel a pending event, then peek while _running: the peek
+            # must not mutate the heap out from under the run loop.
+            victims[0].cancel()
+            seen.append(sim.peek_time())
+
+        victims = [sim.schedule(1.5, lambda: None)]
+        sim.schedule(1.0, probe)
+        sim.schedule(2.0, seen.append, "fired")
+        sim.run()
+        assert seen == [2.0, "fired"]
+
+    def test_fired_events_are_not_tombstones(self, sim):
+        for i in range(100):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim._tombstones == 0
+        assert sim.compactions == 0
+
+    def test_cancel_after_fire_is_harmless(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        h.cancel()  # already cleared inline by the run loop
+        assert sim._tombstones == 0

@@ -24,6 +24,7 @@ from pathlib import Path
 
 from perf import (
     BASELINE_PATH,
+    CPU_SENSITIVE_CELLS,
     PERF_PATH,
     PERF_SCHEMA,
     SCALE_FREE_CELLS,
@@ -43,9 +44,15 @@ def compare(baseline: dict, current: dict,
     """Per-cell rows plus the names of regressed cells.
 
     Row: (cell, metric, baseline value, current value, ratio, status) —
-    status is ``ok`` / ``REGRESSED`` / ``skipped (scale)`` / ``missing``.
+    status is ``ok`` / ``REGRESSED`` / ``warn (cpu)`` / ``skipped (scale)``
+    / ``missing``.  When the two documents were recorded on hosts with a
+    different ``cpu_count``, regressions in ``CPU_SENSITIVE_CELLS`` are
+    softened to ``warn (cpu)`` and do not gate: a parallel sweep losing
+    throughput because the runner has fewer cores than the baseline host
+    is a hardware delta, not a code regression.
     """
     same_scale = baseline.get("scale") == current.get("scale")
+    same_cpus = baseline.get("cpu_count") == current.get("cpu_count")
     rows: list[tuple] = []
     regressed: list[str] = []
     for cell, metric in sorted(THROUGHPUT_METRICS.items()):
@@ -59,8 +66,11 @@ def compare(baseline: dict, current: dict,
             continue
         ratio = after / before if before else float("inf")
         if ratio < 1.0 - tolerance:
-            status = "REGRESSED"
-            regressed.append(cell)
+            if cell in CPU_SENSITIVE_CELLS and not same_cpus:
+                status = "warn (cpu)"
+            else:
+                status = "REGRESSED"
+                regressed.append(cell)
         else:
             status = "ok"
         rows.append((cell, metric, before, after, ratio, status))
@@ -105,6 +115,12 @@ def main(argv: list[str] | None = None) -> int:
     rows, regressed = compare(baseline, current, args.tolerance)
     print(f"perf diff: {args.current} vs {args.baseline} "
           f"(scales {current.get('scale')} vs {baseline.get('scale')})")
+    if baseline.get("cpu_count") != current.get("cpu_count"):
+        print(f"note: baseline recorded with cpu_count="
+              f"{baseline.get('cpu_count')}, current host has "
+              f"{current.get('cpu_count')} — cpu-sensitive cells "
+              f"({', '.join(sorted(CPU_SENSITIVE_CELLS))}) warn instead "
+              f"of gating")
     print(render(rows, args.tolerance))
     if regressed:
         print(f"\nREGRESSED: {', '.join(regressed)}", file=sys.stderr)

@@ -75,6 +75,12 @@ THROUGHPUT_METRICS: dict[str, str] = {
     **SCALE_FREE_CELLS,
 }
 
+#: Cells whose throughput scales with worker-process count.  When the
+#: baseline document was recorded on a host with a different
+#: ``cpu_count``, a "regression" in these cells usually measures the
+#: hardware, not the code — diff_perf softens them to a warning.
+CPU_SENSITIVE_CELLS: frozenset[str] = frozenset({"figure2.parallel"})
+
 
 # ----------------------------------------------------------------------
 # measurement cells

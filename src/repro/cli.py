@@ -121,6 +121,15 @@ TELEMETRY_RUNNERS: dict[str, Callable] = {
         scale=scale, seeds=seeds, telemetry=tel, jobs=jobs),
 }
 
+#: Experiments ``repro job-trace`` can drive: they must accept
+#: ``grid_overrides`` so the causal-tracing run can switch the grid to
+#: the message-level pipeline (rpc probes + acknowledged dispatch).
+JOB_TRACE_RUNNERS: dict[str, Callable] = {
+    "figure2": lambda scale, seeds, tel, overrides, jobs=None: run_figure2(
+        scale=scale, seeds=seeds, telemetry=tel, grid_overrides=overrides,
+        jobs=jobs),
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -172,6 +181,46 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--buffer", type=int, default=200_000,
                        help="trace ring-buffer capacity in records "
                             "(default 200000; oldest records drop first)")
+
+    jt = sub.add_parser(
+        "job-trace",
+        help="run a traced experiment and render causal per-job "
+             "timelines (phase breakdown, critical path, anomalies)")
+    jt.add_argument("experiment", choices=sorted(JOB_TRACE_RUNNERS),
+                    help="experiment id (causal-tracing capable ones)")
+    jt.add_argument("--scale", type=float, default=0.1,
+                    help="workload scale (default 0.1 — tracing every job "
+                         "is verbose; raise deliberately)")
+    jt.add_argument("--seeds", type=_parse_seeds, default=(1,),
+                    help="comma-separated replicate seeds (default: 1)")
+    jt.add_argument("--slowest", type=int, default=5, metavar="K",
+                    help="render ASCII timelines for the K slowest jobs "
+                         "(default 5)")
+    jt.add_argument("--probe-mode", choices=("oracle", "rpc"), default="rpc",
+                    help="grid probe mode for the traced run (default rpc: "
+                         "real probe/dispatch messages, so remote-node "
+                         "spans appear in the trees)")
+    jt.add_argument("--out", type=Path, default=None, metavar="PATH",
+                    help="also export the raw span stream as JSONL to PATH")
+    jt.add_argument("--buffer", type=int, default=500_000,
+                    help="trace ring-buffer capacity in records "
+                         "(default 500000)")
+    jt.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="worker processes (traces merge deterministically "
+                         "in submission order)")
+    jt.add_argument("--check", action="store_true",
+                    help="fail (exit 1) on trace anomalies: orphan spans, "
+                         "jobs without a terminal event, or ring truncation")
+
+    ph = sub.add_parser(
+        "perf-history",
+        help="walk git log for committed BENCH_perf.json revisions and "
+             "print per-cell wall/throughput trajectories")
+    ph.add_argument("--repo", type=Path, default=Path("."),
+                    help="repository root (default: cwd)")
+    ph.add_argument("--cell", type=str, default=None,
+                    help="restrict the report to one bench cell "
+                         "(e.g. figure2.serial)")
     return parser
 
 
@@ -244,6 +293,54 @@ def _run_one(name: str, scale: float, seeds: tuple[int, ...],
     return ok or not check
 
 
+def _run_job_trace(args) -> int:
+    from repro.telemetry.core import Telemetry
+    from repro.telemetry.timeline import (
+        render_anomalies,
+        render_critical_path,
+        render_job_timeline,
+        render_phase_table,
+        timeline_from_bus,
+    )
+
+    if not _check_writable(args.out):
+        return 2
+    tel = Telemetry(maxlen=args.buffer, sample_interval=10.0)
+    overrides = {"probe_mode": args.probe_mode,
+                 "dispatch_ack": args.probe_mode == "rpc"}
+    kw: dict = {} if args.jobs is None else {"jobs": args.jobs}
+    JOB_TRACE_RUNNERS[args.experiment](args.scale, args.seeds, tel,
+                                       overrides, **kw)
+    tl = timeline_from_bus(tel.bus)
+    print(f"causal trace: {len(tl.jobs)} jobs, {len(tel.bus)} records "
+          f"(probe_mode={args.probe_mode})\n")
+    for jt in tl.slowest(args.slowest):
+        print(render_job_timeline(jt))
+        print("critical path:")
+        print(render_critical_path(jt))
+        print()
+    print(render_phase_table(tl))
+    print()
+    print(render_anomalies(tl))
+    if args.out is not None:
+        tel.export_jsonl(args.out)
+        n = len(tel.bus) + len(tel.final_records())
+        print(f"\n[trace: {n} records written to {args.out}]")
+    if args.check and not tl.healthy:
+        print("\njob-trace --check: trace anomalies detected",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_perf_history(args) -> int:
+    from repro.perfhistory import collect_history, history_report
+
+    points = collect_history(repo=args.repo)
+    print(history_report(points, only_cell=args.cell))
+    return 0
+
+
 def _run_trace(args) -> int:
     from repro.telemetry.core import Telemetry
     from repro.telemetry.summary import telemetry_report
@@ -286,6 +383,10 @@ def _main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "job-trace":
+        return _run_job_trace(args)
+    if args.command == "perf-history":
+        return _run_perf_history(args)
     if not _check_writable(args.telemetry):
         return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

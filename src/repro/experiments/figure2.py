@@ -165,19 +165,23 @@ def scaled_scenarios(scale: float) -> dict[str, WorkloadConfig]:
 def run_figure2(scale: float = 0.25, seeds: tuple[int, ...] = (1,),
                 matchmakers: tuple[str, ...] = FIGURE2_MATCHMAKERS,
                 max_time: float = DEFAULT_MAX_TIME, telemetry=None,
-                jobs: int | None = None) -> Figure2Result:
+                jobs: int | None = None,
+                grid_overrides: dict | None = None) -> Figure2Result:
     """Run the full Figure 2 grid.  ``scale=1.0`` is paper scale (1000
     nodes / 5000 jobs); smaller scales keep per-node utilization constant
     (see :meth:`WorkloadConfig.scaled`).  ``telemetry`` attaches one
     observability stack across every cell of the grid; ``jobs`` fans the
     (scenario x matchmaker x seed) cells out over worker processes with
-    per-cell results identical to the serial sweep."""
+    per-cell results identical to the serial sweep.  ``grid_overrides``
+    are GridConfig field overrides applied to every cell (e.g. run the
+    whole figure under ``probe_mode="rpc"``)."""
     result = Figure2Result(scale=scale, seeds=seeds)
     scenarios = scaled_scenarios(scale)
     groups = [(scenario, mm) for scenario in scenarios for mm in matchmakers]
     outcomes = map_cells(
         run_workload,
-        [call(scenarios[scenario], mm, seed=s, max_time=max_time)
+        [call(scenarios[scenario], mm, seed=s, max_time=max_time,
+              grid_overrides=grid_overrides)
          for scenario, mm in groups for s in seeds],
         jobs=jobs, telemetry=telemetry)
     for i, (scenario, mm) in enumerate(groups):

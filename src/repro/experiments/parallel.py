@@ -12,13 +12,15 @@ Determinism contract:
 * With ``jobs=1`` the cells run in-process through the exact historical
   code path (including a shared parent telemetry, when given).
 * With ``jobs>1`` each cell's result is produced by the same function
-  with the same arguments in a fresh process, and worker metric states
-  are merged in submission order — so counters, histograms, and final
-  gauge values match the serial run (histogram running *totals* can
-  differ in the last ulp: float addition is not associative across the
-  per-worker partial sums).  Bus traces and kernel profiles are
-  per-process and stay in the worker; use ``jobs=1`` (e.g. ``repro
-  trace``) when the span stream itself is the artifact.
+  with the same arguments in a fresh process, and worker metric *and
+  trace-bus* states are merged in submission order — counters,
+  histograms, final gauge values, and the span stream all match the
+  serial run (histogram running *totals* can differ in the last ulp:
+  float addition is not associative across the per-worker partial
+  sums).  Worker span ids are renumbered on merge so the combined
+  stream carries exactly the ids one shared serial bus would have
+  allocated (see :meth:`repro.telemetry.bus.TelemetryBus.merge`).
+  Kernel profiles remain per-process and stay in the worker.
 
 ``REPRO_JOBS`` supplies a default worker count when the caller does not
 pass one; ``0`` means "all cores".
@@ -60,33 +62,44 @@ def resolve_jobs(jobs: int | None = None) -> int:
 class _TelemetrySpec:
     """The picklable subset of a Telemetry config a worker reconstructs.
 
-    Only settings that influence *metrics* matter for the fold-back
-    (the load sampler writes gauges/histograms); bus categories and
-    buffer bounds shape records that never leave the worker.
+    The worker's stack must filter and bound its bus exactly like the
+    parent's, or the merged stream would diverge from the serial run —
+    so the bus-shaping settings (categories, maxlen, flight ring) ride
+    along with the metrics-shaping ones.
     """
 
     profile_kernel: bool
     sample_interval: float | None
+    categories: frozenset[str] | None = None
+    maxlen: int | None = None
+    flight_ring: int = 64
 
     @classmethod
     def of(cls, telemetry) -> "_TelemetrySpec | None":
         if telemetry is None or not telemetry.enabled:
             return None
+        cats = telemetry.bus.categories
+        flight = telemetry.flight
         return cls(profile_kernel=telemetry.profile is not None,
-                   sample_interval=telemetry.sample_interval)
+                   sample_interval=telemetry.sample_interval,
+                   categories=frozenset(cats) if cats is not None else None,
+                   maxlen=telemetry.bus.maxlen,
+                   flight_ring=flight.maxlen if flight is not None else 0)
 
 
 def _run_cell(fn: Callable, args: tuple, kwargs: dict,
               spec: _TelemetrySpec | None):
     """Worker-side cell execution (module-level so it pickles)."""
     if spec is None:
-        return fn(*args, **kwargs), None
+        return fn(*args, **kwargs), None, None
     from repro.telemetry.core import Telemetry
 
-    tel = Telemetry(profile_kernel=spec.profile_kernel,
-                    sample_interval=spec.sample_interval)
+    tel = Telemetry(categories=spec.categories, maxlen=spec.maxlen,
+                    profile_kernel=spec.profile_kernel,
+                    sample_interval=spec.sample_interval,
+                    flight_ring=spec.flight_ring)
     result = fn(*args, telemetry=tel, **kwargs)
-    return result, tel.metrics.state()
+    return result, tel.metrics.state(), tel.bus.state()
 
 
 def map_cells(fn: Callable, calls: Iterable[Call], *,
@@ -106,7 +119,7 @@ def map_cells(fn: Callable, calls: Iterable[Call], *,
         Optional parent :class:`~repro.telemetry.Telemetry`.  Serial runs
         pass it straight into ``fn`` (shared accumulation, historical
         behavior); parallel runs give each worker a fresh stack and merge
-        the metric states back in submission order.
+        the metric and trace-bus states back in submission order.
     """
     calls = list(calls)
     if telemetry is not None and not telemetry.enabled:
@@ -121,10 +134,12 @@ def map_cells(fn: Callable, calls: Iterable[Call], *,
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         futures = [pool.submit(_run_cell, fn, args, kwargs, spec)
                    for args, kwargs in calls]
-        pairs = [f.result() for f in futures]
+        triples = [f.result() for f in futures]
     results = []
-    for result, metric_state in pairs:
+    for result, metric_state, bus_state in triples:
         if metric_state is not None:
             telemetry.metrics.merge(metric_state)
+        if bus_state is not None:
+            telemetry.bus.merge(bus_state)
         results.append(result)
     return results

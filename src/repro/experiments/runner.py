@@ -14,6 +14,7 @@ the sweep runs serially or with ``jobs > 1``.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 from dataclasses import dataclass, field
 from typing import Any
@@ -82,16 +83,24 @@ def run_workload(workload: WorkloadConfig, matchmaker: str, seed: int = 1,
                  grid_cfg: GridConfig | None = None,
                  mm_kwargs: dict[str, Any] | None = None,
                  max_time: float = DEFAULT_MAX_TIME,
-                 telemetry=None) -> RunOutcome:
+                 telemetry=None,
+                 grid_overrides: dict[str, Any] | None = None) -> RunOutcome:
     """Run one (workload, matchmaker, seed) cell and summarize it.
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) attaches the
     observability stack to the grid for this run; metrics accumulate into
     it across calls, so one instance can aggregate a whole sweep.
+    ``grid_overrides`` are :class:`GridConfig` field overrides applied on
+    top of the default (or given) config — e.g. ``{"probe_mode": "rpc"}``
+    to trace an experiment under the message-level pipeline.
     """
     nodes, stream = build_population(workload, seed)
-    cfg = grid_cfg if grid_cfg is not None else GridConfig(seed=seed,
-                                                           spec=workload.spec)
+    if grid_cfg is not None:
+        cfg = dataclasses.replace(grid_cfg, **grid_overrides) \
+            if grid_overrides else grid_cfg
+    else:
+        cfg = GridConfig(seed=seed, spec=workload.spec,
+                         **(grid_overrides or {}))
     grid = DesktopGrid(cfg, make_matchmaker(matchmaker, **(mm_kwargs or {})),
                        nodes, telemetry=telemetry)
     finished = drive(grid, workload, stream, max_time=max_time)

@@ -62,7 +62,7 @@ class Client:
             tel.metrics.counter("jobs.submitted").inc()
             if "tel_job" not in job.extra:
                 job.extra["tel_job"] = tel.bus.begin_span(
-                    self.grid.sim.now, "job.lifecycle",
+                    self.grid.sim.now, "job.lifecycle", trace=job.guid,
                     job=job.name, client=self.name)
         self.grid.inject(job, client=self)
         if self.grid.cfg.client_resubmit_enabled:
@@ -141,17 +141,27 @@ class Client:
             deadline = cfg.client_timeout
             if now - self._last_seen.get(guid, job.submit_time) <= deadline:
                 continue
+            tel = self.grid.telemetry
             if job.attempt > cfg.client_max_attempts:
                 job.state = JobState.LOST
                 job.failure_reason = "abandoned after max resubmissions"
                 self.pending.pop(guid)
+                if tel.enabled:
+                    # Abandonment is terminal and no "result" message will
+                    # ever close these: sweep the phase spans and the
+                    # lifecycle span here so LOST jobs appear in traces.
+                    tel.close_job_spans(job, "lost")
+                    tel.bus.end_span(job.extra.pop("tel_job", None), now,
+                                     state="lost", attempts=job.attempt)
                 self.grid.metrics.on_job_done(job)
                 continue
             self.resubmissions += 1
             self.grid.metrics.on_resubmission(job)
-            tel = self.grid.telemetry
             if tel.enabled:
                 tel.metrics.counter("jobs.resubmitted").inc()
+                # The old attempt's phases are dead; close them so the
+                # resubmission's fresh spans read as a new chain.
+                tel.close_job_spans(job, "resubmitted")
             job.state = JobState.SUBMITTED
             job.owner_id = None
             job.run_node_id = None

@@ -121,7 +121,10 @@ class GridNode:
                              owner=self.name, hops=route_hops)
             job.extra["tel_match"] = tel.bus.begin_span(
                 sim.now, "job.match", parent=job.extra.get("tel_job"),
-                job=job.name, owner=self.name)
+                trace=job.guid, job=job.name, owner=self.name)
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, sim.now, "owner-receive",
+                                job=job.guid)
         self._ensure_owner_tasks()
         self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
 
@@ -137,7 +140,24 @@ class GridNode:
         if job.is_done or not self._alive:
             return
         grid = self.grid
-        cset = grid.matchmaker.search(self, job)
+        tel = grid.telemetry
+        if tel.enabled:
+            # Re-matches (run-node loss, dispatch exhaustion, adoption)
+            # arrive here without an open match span: open one so retry
+            # chains show up as distinct job.match spans in the trace.
+            mspan = job.extra.get("tel_match")
+            if mspan is None:
+                mspan = job.extra["tel_match"] = tel.bus.begin_span(
+                    grid.sim.now, "job.match", parent=job.extra.get("tel_job"),
+                    trace=job.guid, job=job.name, owner=self.name, retry=True)
+            # Ambient context: DHT-route records emitted inside the
+            # structural search join this job's causal tree.
+            tel.trace_ctx = (job.guid,
+                             mspan.span_id if mspan is not None else None)
+            cset = grid.matchmaker.search(self, job)
+            tel.trace_ctx = None
+        else:
+            cset = grid.matchmaker.search(self, job)
         job.match_hops += cset.hops
         job.pushes += cset.pushes
         if grid.cfg.probe_mode == "rpc":
@@ -150,7 +170,6 @@ class GridNode:
         ranking, probes = oracle_select(grid, cset, grid.selection_policy,
                                         grid.streams["match"])
         job.match_probes += probes
-        tel = grid.telemetry
         if tel.enabled:
             tel.note_match(grid.matchmaker.name, cset.hops, probes,
                            cset.pushes, found=bool(ranking))
@@ -187,6 +206,9 @@ class GridNode:
         if tel.enabled:
             tel.bus.end_span(job.extra.pop("tel_match", None), now,
                              run_node=node.name, hops=hops, probes=probes)
+            job.extra["tel_dispatch"] = tel.bus.begin_span(
+                now, "job.dispatch", parent=job.extra.get("tel_job"),
+                trace=job.guid, job=job.name, run_node=node.name)
         rec = self.owned.get(job.guid)
         if rec is not None:
             rec.run_node_id = node.node_id
@@ -212,9 +234,21 @@ class GridNode:
             return
         job.match_probes += len(targets)
         tel = grid.telemetry
+        trace = None
+        round_ = ProbeRound(targets)
         if tel.enabled:
             tel.metrics.counter("match.probes.sent").inc(len(targets))
-        round_ = ProbeRound(targets)
+            # The probe fan-out gets its own span under the match span;
+            # its id rides every probe rpc so the remote-side rpc.server
+            # records parent under it, and the span closes when the last
+            # probe settles (see _select_and_dispatch).
+            round_.span = tel.bus.begin_span(
+                grid.sim.now, "job.probe", parent=job.extra.get("tel_match"),
+                trace=job.guid, job=job.name, targets=len(targets))
+            if round_.span is not None:
+                job.extra["tel_probe"] = round_.span
+            trace = (job.guid, round_.span.span_id
+                     if round_.span is not None else None)
         for nid in targets:
             grid.rpc.call(
                 self.node_id, nid, "probe", job.guid,
@@ -223,6 +257,7 @@ class GridNode:
                 on_timeout=lambda nid=nid: self._on_probe_result(
                     job, cset, round_, nid, None, retries_left),
                 timeout=grid.cfg.probe_timeout,
+                trace=trace,
             )
 
     def _on_probe_result(self, job: Job, cset: CandidateSet,
@@ -231,18 +266,25 @@ class GridNode:
         done = round_.timeout(nid) if load is None else round_.reply(nid, load)
         if done:
             self._select_and_dispatch(job, cset, round_.loads, round_.failed,
-                                      retries_left)
+                                      retries_left, probe_span=round_.span)
 
     def _select_and_dispatch(self, job: Job, cset: CandidateSet,
-                             loads: dict[int, int], failed, retries_left: int
-                             ) -> None:
+                             loads: dict[int, int], failed, retries_left: int,
+                             probe_span=None) -> None:
         """Rank the probe results and dispatch to the winner."""
+        grid = self.grid
+        tel = grid.telemetry
+        if probe_span is not None:
+            # Close the fan-out span even when the round was superseded —
+            # the probes really happened; the attrs say how they settled.
+            if job.extra.get("tel_probe") is probe_span:
+                job.extra.pop("tel_probe")
+            tel.bus.end_span(probe_span, grid.sim.now,
+                             replies=len(loads), timeouts=len(failed))
         if job.is_done or not self._alive:
             return
         if job.owner_id != self.node_id or job.state is not JobState.MATCHING:
             return  # superseded (resubmitted / re-owned) while probing
-        grid = self.grid
-        tel = grid.telemetry
         if failed and tel.enabled:
             tel.metrics.counter("match.probes.timeouts").inc(len(failed))
         ranking = grid.selection_policy.rank(
@@ -265,14 +307,24 @@ class GridNode:
         if job.is_done or not self._alive:
             return
         target = ranking[0]
+        tel = self.grid.telemetry
+        trace = None
+        if tel.enabled:
+            dspan = job.extra.get("tel_dispatch")
+            trace = (job.guid, dspan.span_id if dspan is not None else None)
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, self.grid.sim.now, "dispatch",
+                                job=job.guid, info=target)
         if not self.grid.cfg.dispatch_ack:
-            self.grid.network.send("assign", self.node_id, target, job)
+            self.grid.network.send("assign", self.node_id, target, job,
+                                   trace=trace)
             return
         self.grid.rpc.call(
             self.node_id, target, "assign", job,
             on_reply=lambda ok: self._on_dispatch_ack(job, target, ok),
             on_timeout=lambda: self._on_dispatch_timeout(job, ranking),
             timeout=self.grid.cfg.probe_timeout,
+            trace=trace,
         )
 
     def _on_dispatch_ack(self, job: Job, target: int, ok: bool) -> None:
@@ -308,6 +360,9 @@ class GridNode:
         tel = grid.telemetry
         if tel.enabled:
             tel.metrics.counter("dispatch.ack_timeouts").inc()
+        if tel.enabled and tel.flight is not None:
+            tel.flight.note(self.node_id, now, "dispatch-timeout",
+                            job=job.guid, info=target)
         rest = ranking[1:]
         if rest:
             job.run_node_id = rest[0]
@@ -321,12 +376,22 @@ class GridNode:
             if rec is not None:
                 rec.run_node_id = None
                 rec.last_heartbeat = now
+            if tel.enabled:
+                # The dispatch phase is over (exhausted); a fresh match
+                # span opens in _match_and_dispatch for the retry chain.
+                tel.bus.end_span(job.extra.pop("tel_dispatch", None), now,
+                                 status="exhausted")
             self._match_and_dispatch(job, retries_left=grid.cfg.match_retries)
 
     def _owner_fail_job(self, job: Job, reason: str) -> None:
         job.state = JobState.FAILED
         job.failure_reason = reason
         self.owned.pop(job.guid, None)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.close_job_spans(job, "failed")
+            tel.dump_flight(job, (self.node_id, job.run_node_id),
+                            reason=reason)
         self.grid.network.send("result", self.node_id, job.profile.client_id, job)
 
     def _on_heartbeat(self, msg: Message) -> None:
@@ -358,6 +423,10 @@ class GridNode:
             return
         job.owner_id = self.node_id
         self.owned[job.guid] = OwnedJob(job, job.run_node_id, self.grid.sim.now)
+        tel = self.grid.telemetry
+        if tel.enabled and tel.flight is not None:
+            tel.flight.note(self.node_id, self.grid.sim.now, "adopt",
+                            job=job.guid, info=msg.src)
         self._ensure_owner_tasks()
 
     def _monitor_owned(self) -> None:
@@ -382,12 +451,14 @@ class GridNode:
                 continue  # matchmaking still in flight
             if now - rec.last_heartbeat > timeout and not rec.probing:
                 rec.probing = True
+                tel = self.grid.telemetry
                 self.grid.rpc.call(
                     self.node_id, rec.run_node_id, "has-job", job.guid,
                     on_reply=lambda has, rec=rec: self._on_liveness_reply(
                         rec, has),
                     on_timeout=lambda rec=rec: self._on_liveness_timeout(rec),
                     timeout=cfg.probe_timeout,
+                    trace=(job.guid, None) if tel.enabled else None,
                 )
 
     def _liveness_settled(self, rec: OwnedJob) -> bool:
@@ -413,6 +484,7 @@ class GridNode:
         """The run node is confirmed gone: re-run matchmaking."""
         job = rec.job
         now = self.grid.sim.now
+        lost_node = rec.run_node_id
         job.run_node_failures += 1
         self.grid.trace.record(now, "recovery", kind="run-node",
                                job=job.name)
@@ -422,6 +494,17 @@ class GridNode:
         rec.run_node_id = None
         rec.last_heartbeat = now
         self.grid.metrics.on_recovery("run-node", job, latency=latency)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            # Whatever phase the job died in on the lost node is over;
+            # close those spans so the retry chain starts clean (a fresh
+            # match span opens in _match_and_dispatch).
+            tel.close_job_spans(job, "run-node-lost",
+                                keys=("tel_probe", "tel_dispatch",
+                                      "tel_queue", "tel_run"))
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, now, "run-node-lost",
+                                job=job.guid, info=lost_node)
         self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
 
     def _ensure_owner_tasks(self) -> None:
@@ -451,10 +534,18 @@ class GridNode:
         self._last_ack[job.guid] = self.grid.sim.now
         tel = self.grid.telemetry
         if tel.enabled:
+            # The dispatch phase ends where the job physically landed
+            # (job.extra is shared state, so the owner-opened span is
+            # reachable here on the run node).
+            tel.bus.end_span(job.extra.pop("tel_dispatch", None),
+                             self.grid.sim.now, node=self.name)
             job.extra["tel_queue"] = tel.bus.begin_span(
                 self.grid.sim.now, "job.queue",
-                parent=job.extra.get("tel_job"), job=job.name,
+                parent=job.extra.get("tel_job"), trace=job.guid, job=job.name,
                 node=self.name, depth=self.queue_len + 1)
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, self.grid.sim.now, "accept",
+                                job=job.guid)
         self.queue.append(job)
         self.grid.on_queue_change(self)
         self._ensure_runner_tasks()
@@ -526,7 +617,11 @@ class GridNode:
                              self.grid.sim.now, node=self.name)
             job.extra["tel_run"] = tel.bus.begin_span(
                 self.grid.sim.now, "job.run",
-                parent=job.extra.get("tel_job"), job=job.name, node=self.name)
+                parent=job.extra.get("tel_job"), trace=job.guid,
+                job=job.name, node=self.name)
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, self.grid.sim.now, "run-start",
+                                job=job.guid)
         duration = self.execution_time(job)
         # Staging: input before, output after, over the configured link.
         # KB-scale I/O (the paper's workloads) makes this negligible; it is
@@ -568,6 +663,9 @@ class GridNode:
             tel.bus.end_span(job.extra.pop("tel_run", None), self.grid.sim.now,
                              node=self.name, failure=failure)
             tel.metrics.counter("jobs.executed").inc()
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, self.grid.sim.now, "run-finish",
+                                job=job.guid, info=failure)
         if failure is not None:
             self._fail_job(job, failure)
         else:
@@ -607,6 +705,11 @@ class GridNode:
     def _fail_job(self, job: Job, reason: str) -> None:
         job.state = JobState.FAILED
         job.failure_reason = reason
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.close_job_spans(job, "failed")
+            tel.dump_flight(job, (self.node_id, job.owner_id),
+                            reason=reason)
         if job.owner_id is not None:
             self.grid.network.send("complete", self.node_id, job.owner_id, job.guid)
         self.grid.network.send("result", self.node_id, job.profile.client_id, job)
@@ -653,7 +756,18 @@ class GridNode:
             self.grid.trace.record(now, "recovery", kind="owner",
                                    job=job.name)
             self.grid.metrics.on_recovery("owner", job)
-            new_owner, hops = self.grid.matchmaker.find_owner(job, start=self)
+            tel = self.grid.telemetry
+            if tel.enabled:
+                if tel.flight is not None:
+                    tel.flight.note(self.node_id, now, "owner-lost",
+                                    job=job.guid, info=job.owner_id)
+                tel.trace_ctx = (job.guid, None)
+                new_owner, hops = self.grid.matchmaker.find_owner(
+                    job, start=self)
+                tel.trace_ctx = None
+            else:
+                new_owner, hops = self.grid.matchmaker.find_owner(
+                    job, start=self)
             job.owner_route_hops += hops
             self._last_ack[job.guid] = now  # give the recruit time to answer
             if new_owner is None:
@@ -686,6 +800,9 @@ class GridNode:
         if not self._alive:
             return
         self._alive = False
+        tel = self.grid.telemetry
+        if tel.enabled and tel.flight is not None:
+            tel.flight.note(self.node_id, self.grid.sim.now, "crash")
         if self._completion is not None:
             self._completion.cancel()
             self._completion = None

@@ -235,7 +235,8 @@ class DesktopGrid:
         if tel.enabled:
             job.extra["tel_insert"] = tel.bus.begin_span(
                 self.sim.now, "job.insert",
-                parent=job.extra.get("tel_job"), job=job.name)
+                parent=job.extra.get("tel_job"), trace=job.guid,
+                job=job.name)
         delay = self.network.hop_latency()  # client -> injection node
         self.sim.schedule(delay, self._route_to_owner, job, injection, 5)
 
@@ -245,8 +246,17 @@ class DesktopGrid:
             return
         if start is not None and not start.alive:
             start = self._random_live_node()
-        owner, hops = self.matchmaker.find_owner(job, start=start)
         tel = self.telemetry
+        if tel.enabled:
+            # Ambient context: overlay-route records emitted inside
+            # find_owner (dht.lookup) parent under the insert span.
+            ispan = job.extra.get("tel_insert")
+            tel.trace_ctx = (job.guid,
+                             ispan.span_id if ispan is not None else None)
+            owner, hops = self.matchmaker.find_owner(job, start=start)
+            tel.trace_ctx = None
+        else:
+            owner, hops = self.matchmaker.find_owner(job, start=start)
         if tel.enabled:
             tel.metrics.histogram("owner.route_hops").observe(hops)
             if owner is None:
@@ -266,6 +276,7 @@ class DesktopGrid:
             self.trace.record(self.sim.now, "route-failed", job=job.name)
             if tel.enabled:
                 tel.metrics.counter("owner.route_exhausted").inc()
+                tel.close_job_spans(job, "route-exhausted")
             # src -1 = the routing fabric itself; no single node speaks
             # for a failed overlay route, but the client must still hear.
             self.network.send("result", -1, job.profile.client_id, job)

@@ -185,14 +185,20 @@ class ProbeRound:
     feeds it, and :meth:`reply`/:meth:`timeout` return True exactly once —
     when the last outstanding probe settles — signalling that selection
     can run.
+
+    ``span`` optionally holds the open telemetry probe span for this
+    fan-out (None when telemetry is off); the owner closes it when the
+    round settles, so the trace shows the full probe window including
+    the slowest straggler or timeout.
     """
 
-    __slots__ = ("loads", "failed", "outstanding")
+    __slots__ = ("loads", "failed", "outstanding", "span")
 
     def __init__(self, targets: Iterable[int]):
         self.loads: dict[int, int] = {}
         self.failed: set[int] = set()
         self.outstanding = len(list(targets))
+        self.span = None
 
     def reply(self, node_id: int, load: int) -> bool:
         self.loads[node_id] = load

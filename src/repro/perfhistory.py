@@ -1,0 +1,177 @@
+"""Perf trajectory across commits: ``repro perf-history``.
+
+Every PR that runs the bench suite commits an updated
+``benchmarks/reports/BENCH_perf.json``; each committed revision is one
+measured point of the repo's performance history.  This module walks
+``git log`` for that file, loads every revision's document, and renders
+a per-cell trajectory table — wall-clock and throughput per commit — so
+perf wins and regressions are visible as data instead of anecdotes.
+
+Ratios compare each revision against the *previous comparable* one:
+scale-dependent cells only compare at equal ``scale``, and every cell
+skips the ratio when ``cpu_count`` changed (a 1-core baseline against
+an 8-core runner says nothing about the code).  The working tree's
+uncommitted document, when present and different from HEAD's, appears
+as a final ``worktree`` row.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Repo-relative path of the committed perf document.
+PERF_REL_PATH = "benchmarks/reports/BENCH_perf.json"
+
+#: Cells comparable across REPRO_BENCH_SCALE values (mirrors
+#: ``benchmarks.perf.SCALE_FREE_CELLS``; duplicated here so the installed
+#: package does not import from the benchmarks tree).
+SCALE_FREE_CELLS = frozenset({
+    "net.message_throughput", "latency.sampling",
+    "grid.steady_state", "rntree.churn_maintenance",
+})
+
+
+@dataclass
+class PerfPoint:
+    """One measured revision of the perf document."""
+
+    rev: str           # full commit hash, or "worktree"
+    date: str          # committer date (YYYY-MM-DD), or "now"
+    subject: str       # first line of the commit message
+    doc: dict[str, Any]
+
+    @property
+    def short(self) -> str:
+        return self.rev[:9] if self.rev != "worktree" else "worktree"
+
+    @property
+    def scale(self) -> float | None:
+        return self.doc.get("scale")
+
+    @property
+    def cpu_count(self) -> int | None:
+        return self.doc.get("cpu_count")
+
+    def cell(self, name: str) -> dict[str, float] | None:
+        return self.doc.get("entries", {}).get(name)
+
+
+def _git(repo: Path, *args: str) -> str:
+    out = subprocess.run(["git", "-C", str(repo), *args],
+                         capture_output=True, text=True, check=True)
+    return out.stdout
+
+
+def _throughput_metric(cell: dict[str, float]) -> str | None:
+    """The cell's headline throughput key (the one ending ``_per_s``)."""
+    for key in cell:
+        if key.endswith("_per_s"):
+            return key
+    return None
+
+
+def collect_history(repo: str | Path = ".",
+                    rel_path: str = PERF_REL_PATH,
+                    include_worktree: bool = True) -> list[PerfPoint]:
+    """All committed revisions of the perf document, oldest first.
+
+    Revisions that fail to parse or carry an unknown schema are skipped
+    (the history walk must not die on a pre-schema commit).
+    """
+    repo = Path(repo)
+    try:
+        log = _git(repo, "log", "--format=%H|%cs|%s", "--", rel_path)
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return []
+    points: list[PerfPoint] = []
+    for line in reversed(log.splitlines()):
+        rev, _, rest = line.partition("|")
+        date, _, subject = rest.partition("|")
+        try:
+            blob = _git(repo, "show", f"{rev}:{rel_path}")
+            doc = json.loads(blob)
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue
+        if doc.get("schema") != 1 or "entries" not in doc:
+            continue
+        points.append(PerfPoint(rev=rev, date=date, subject=subject, doc=doc))
+    if include_worktree:
+        wt = repo / rel_path
+        if wt.is_file():
+            try:
+                doc = json.loads(wt.read_text())
+            except json.JSONDecodeError:
+                doc = None
+            if doc is not None and doc.get("schema") == 1 \
+                    and (not points or doc != points[-1].doc):
+                points.append(PerfPoint(rev="worktree", date="now",
+                                        subject="(uncommitted run)", doc=doc))
+    return points
+
+
+def comparable(prev: PerfPoint, cur: PerfPoint, cell: str) -> bool:
+    """Whether a prev->cur throughput ratio is meaningful for ``cell``."""
+    if prev.cpu_count != cur.cpu_count:
+        return False
+    if cell not in SCALE_FREE_CELLS and prev.scale != cur.scale:
+        return False
+    return prev.cell(cell) is not None and cur.cell(cell) is not None
+
+
+def cell_names(points: list[PerfPoint]) -> list[str]:
+    names: dict[str, None] = {}
+    for p in points:
+        names.update(dict.fromkeys(p.doc.get("entries", {})))
+    return list(names)
+
+
+def history_report(points: list[PerfPoint],
+                   only_cell: str | None = None) -> str:
+    """Per-cell trajectory tables across every measured revision."""
+    from repro.metrics.report import format_table
+
+    if not points:
+        return (f"no committed revisions of {PERF_REL_PATH} found — run the "
+                "bench suite (pytest benchmarks/test_bench_perf.py) and "
+                "commit the report")
+    parts = [f"perf history: {len(points)} measured revision(s) of "
+             f"{PERF_REL_PATH}"]
+    for cell in cell_names(points):
+        if only_cell is not None and cell != only_cell:
+            continue
+        rows = []
+        prev: PerfPoint | None = None
+        for p in points:
+            entry = p.cell(cell)
+            if entry is None:
+                continue  # cell absent at this revision; keep last point
+            metric = _throughput_metric(entry)
+            thr = entry.get(metric) if metric else None
+            if prev is not None and comparable(prev, p, cell) and thr:
+                prev_thr = prev.cell(cell).get(metric)
+                ratio = f"{thr / prev_thr:.2f}x" if prev_thr else "-"
+            else:
+                ratio = "-"
+            rows.append([
+                p.short, p.date,
+                p.scale if p.scale is not None else "-",
+                p.cpu_count if p.cpu_count is not None else "-",
+                round(entry.get("wall_s", float("nan")), 3),
+                round(thr, 1) if thr is not None else "-",
+                ratio,
+                p.subject[:44],
+            ])
+            prev = p
+        if rows:
+            parts.append(format_table(
+                ["rev", "date", "scale", "cpus", "wall (s)",
+                 "throughput", "vs prev", "commit"],
+                rows, title=f"cell: {cell}"))
+    parts.append("(ratios are throughput vs the previous comparable "
+                 "revision; '-' = scale or cpu_count changed, so the "
+                 "comparison would be apples-to-oranges)")
+    return "\n\n".join(parts)

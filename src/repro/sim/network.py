@@ -46,6 +46,13 @@ class Message:
     protocol-specific.  ``src`` is the sender's node id so receivers can
     reply without holding object references.  Slotted: one is allocated
     per send, so the per-instance ``__dict__`` was pure overhead.
+
+    ``trace`` is the causal trace context ``(trace_id, parent_span_id)``
+    riding along purely for telemetry: a receiver that emits records on
+    behalf of this message stamps them with it, so remote-node records
+    link into the originating job's span tree.  It is None whenever
+    telemetry is off and is never consulted by delivery itself — carrying
+    it cannot perturb the simulation.
     """
 
     kind: str
@@ -53,6 +60,7 @@ class Message:
     dst: int
     payload: Any = None
     send_time: float = 0.0
+    trace: tuple[int, int | None] | None = None
 
 
 class LatencyModel:
@@ -200,19 +208,21 @@ class Network:
         return total
 
     def send(self, kind: str, src: int, dst: int, payload: Any = None,
-             on_delivered: Callable[[Message], None] | None = None) -> Message | None:
+             on_delivered: Callable[[Message], None] | None = None,
+             trace: tuple[int, int | None] | None = None) -> Message | None:
         """Send a message; returns it, or None if the sender is already dead.
 
         Delivery (or drop) happens after one sampled latency.  There is no
         delivery acknowledgement at this layer; protocols that need one send
-        an explicit reply.
+        an explicit reply.  ``trace`` is the optional causal context
+        carried for telemetry only (see :class:`Message`).
         """
         src_ep = self._endpoints.get(src)
         if src_ep is not None and not src_ep.alive:
             self.stats.dropped_dead_src += 1
             return None
         sim = self.sim
-        msg = Message(kind, src, dst, payload, sim.now)
+        msg = Message(kind, src, dst, payload, sim.now, trace)
         stats = self.stats
         stats.sent += 1
         stats.by_kind[kind] += 1
@@ -224,8 +234,12 @@ class Network:
                     tel.metrics.counter(f"net.sent.{kind}")
             ctr.inc()
             if self._trace_msgs:
-                tel.bus.record(sim.now, "net.msg", kind=kind,
-                               src=src, dst=dst)
+                if trace is None:
+                    tel.bus.record(sim.now, "net.msg", kind=kind,
+                                   src=src, dst=dst)
+                else:
+                    tel.bus.record(sim.now, "net.msg", kind=kind,
+                                   src=src, dst=dst, trace=trace[0])
         sim.schedule(self._draw_latency(), self._deliver, msg, on_delivered)
         return msg
 

@@ -61,8 +61,12 @@ class RpcLayer:
             self._ctr_calls = metrics.counter("rpc.calls")
             self._ctr_replies = metrics.counter("rpc.replies")
             self._ctr_timeouts = metrics.counter("rpc.timeouts")
+            bus = self.telemetry.bus
+            self._trace_server = bus.wants("rpc.server")
+            self._trace_timeouts = bus.wants("rpc.timeout")
         else:
             self._ctr_calls = self._ctr_replies = self._ctr_timeouts = None
+            self._trace_server = self._trace_timeouts = False
 
     # -- server side -----------------------------------------------------
 
@@ -78,13 +82,18 @@ class RpcLayer:
     def call(self, src: int, dst: int, method: str, payload: Any,
              on_reply: Callable[[Any], None],
              on_timeout: Callable[[], None],
-             timeout: float | None = None) -> None:
+             timeout: float | None = None,
+             trace: tuple[int, int | None] | None = None) -> None:
         """Issue an asynchronous request.
 
         Exactly one of ``on_reply`` / ``on_timeout`` will eventually fire:
         the reply cancels the timeout, and a reply arriving after the
         timeout already fired is discarded (late replies are a real
         phenomenon the caller must not see twice).
+
+        ``trace`` is the optional causal context (telemetry-only): it
+        rides the request message so the server-side record parents under
+        the caller's span, and comes back on the reply untouched.
         """
         req_id = self._next_id
         self._next_id += 1
@@ -105,11 +114,18 @@ class RpcLayer:
                 self.stats.timeouts += 1
                 if self._ctr_timeouts is not None:
                     self._ctr_timeouts.inc()
+                if self._trace_timeouts:
+                    parent = trace[1] if trace is not None else None
+                    self.telemetry.bus.span(
+                        self.sim.now, "rpc.timeout", parent=parent,
+                        trace=trace[0] if trace is not None else None,
+                        method=method, src=src, dst=dst)
                 on_timeout()
 
         handle = self.sim.schedule(timeout or self.default_timeout, fire_timeout)
         self._pending[req_id] = (on_reply, handle)
-        self.network.send("rpc-req", src, dst, (req_id, method, payload))
+        self.network.send("rpc-req", src, dst, (req_id, method, payload),
+                          trace=trace)
 
     # -- message plumbing (called by endpoint adapters) ---------------------
 
@@ -125,9 +141,18 @@ class RpcLayer:
             if handler is None:
                 return True  # no server (e.g. crashed): drop => caller times out
             src = msg.src
+            trace = msg.trace
+            if self._trace_server and trace is not None:
+                # Zero-duration marker: the server handled this request at
+                # this instant, parented under the *caller's* span — the
+                # cross-node stitch that makes remote work attributable.
+                self.telemetry.bus.span(
+                    self.sim.now, "rpc.server", parent=trace[1],
+                    trace=trace[0], method=method, node=owner_id, src=src)
 
             def respond(result: Any) -> None:
-                self.network.send("rpc-rep", owner_id, src, (req_id, result))
+                self.network.send("rpc-rep", owner_id, src, (req_id, result),
+                                  trace=trace)
 
             handler(method, payload, respond)
             return True

@@ -14,6 +14,10 @@ first-class observable without perturbing it:
   wall-clock, heap high-water mark, per-callback-site cumulative time.
 * :mod:`repro.telemetry.core` — the :class:`Telemetry` facade the grid and
   CLI wire through every layer.
+* :mod:`repro.telemetry.flight` — per-node bounded flight recorder,
+  dumped into the trace when a job fails.
+* :mod:`repro.telemetry.timeline` — span-tree reconstruction and timeline
+  analytics over a recorded trace (``repro job-trace``).
 * :mod:`repro.telemetry.summary` — text reports (hop distributions,
   message budgets, kernel profile).
 
@@ -28,18 +32,33 @@ category           meaning
 ``job.lifecycle``  span: submission -> result at the client
 ``job.insert``     span: injection-node routing to the owner (DHT hops)
 ``job.match``      span: owner-side matchmaking, incl. retry backoff
+``job.probe``      span: one RPC probe round (children: ``rpc.server``)
+``job.dispatch``   span: dispatch send -> acceptance on the run node
 ``job.queue``      span: waiting in the run node's queue
 ``job.run``        span: execution (+ staging) on the run node
 ``match``          run node chosen (event; detail: hops, probes)
 ``start``          execution started (event; detail: wait)
 ``complete``       result returned to the client (event; detail: state)
 ``dht.lookup``     span (zero virtual duration): one overlay routing
+``rpc.server``     span (zero duration): request handled on a remote node
+``rpc.timeout``    span (zero duration): an RPC timed out at the caller
+``flight.dump``    span wrapping a node's flight-recorder dump on failure
+``grid.bind``      cell boundary: a new grid bound to a shared telemetry
 ``load.sample``    periodic load sampler tick (live nodes, queue depths)
 ``heartbeat``      one runner heartbeat round (event; detail: jobs)
 ``recovery``       owner/run-node failure recovery triggered
 ``crash``          a node crashed          (``recover``: it rejoined)
 ``net.msg``        one network message sent (high volume; filter in)
 =================  ========================================================
+
+Causal tracing
+--------------
+Every job-phase span carries ``trace=<job guid>``; the grid forwards
+``(trace_id, parent_span_id)`` tuples on messages and RPCs so records
+emitted on *remote* nodes (probe handling, dispatch acceptance, DHT
+routing) parent into the submitting job's span tree.  The timeline layer
+(:func:`timeline_from_bus` / ``repro job-trace``) rebuilds per-job trees,
+per-phase latency breakdowns, retry chains, and critical paths.
 
 Determinism contract: every instrumentation site only *reads* simulation
 state; telemetry draws no randomness and schedules nothing except the
@@ -55,7 +74,8 @@ from repro.telemetry.bus import (
     TraceEvent,
     load_jsonl,
 )
-from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.core import NULL_TELEMETRY, PHASE_SPAN_KEYS, Telemetry
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.profile import KernelProfile
 from repro.telemetry.registry import (
     Counter,
@@ -64,19 +84,35 @@ from repro.telemetry.registry import (
     MetricsRegistry,
 )
 from repro.telemetry.summary import telemetry_report
+from repro.telemetry.timeline import (
+    JobTrace,
+    SpanNode,
+    Timeline,
+    build_timeline,
+    timeline_from_bus,
+    timeline_from_jsonl,
+)
 
 __all__ = [
     "NULL_BUS",
     "NULL_TELEMETRY",
+    "PHASE_SPAN_KEYS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JobTrace",
     "KernelProfile",
     "MetricsRegistry",
     "Span",
+    "SpanNode",
     "Telemetry",
     "TelemetryBus",
+    "Timeline",
     "TraceEvent",
+    "build_timeline",
     "load_jsonl",
     "telemetry_report",
+    "timeline_from_bus",
+    "timeline_from_jsonl",
 ]

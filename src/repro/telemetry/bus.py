@@ -28,7 +28,14 @@ from typing import Any, Iterable, Iterator
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One trace record (an event, or a completed span)."""
+    """One trace record (an event, or a completed span).
+
+    ``trace_id`` is the *causal* correlation key: every span belonging to
+    one end-to-end job story carries the job's GUID, no matter which node
+    of the grid emitted it, so the timeline layer can stitch probe/
+    dispatch/monitor records produced on remote nodes back into the
+    submitting job's tree (see :mod:`repro.telemetry.timeline`).
+    """
 
     time: float
     category: str
@@ -36,6 +43,7 @@ class TraceEvent:
     span_id: int | None = None
     parent_id: int | None = None
     duration: float | None = None
+    trace_id: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {"t": self.time, "cat": self.category}
@@ -45,6 +53,8 @@ class TraceEvent:
             out["parent"] = self.parent_id
         if self.duration is not None:
             out["dur"] = self.duration
+        if self.trace_id is not None:
+            out["trace"] = self.trace_id
         out.update(self.detail)
         return out
 
@@ -56,15 +66,18 @@ TraceRecord = TraceEvent
 class Span:
     """An open span handle returned by :meth:`TelemetryBus.begin_span`."""
 
-    __slots__ = ("span_id", "parent_id", "category", "start", "detail")
+    __slots__ = ("span_id", "parent_id", "category", "start", "detail",
+                 "trace_id")
 
     def __init__(self, span_id: int, parent_id: int | None, category: str,
-                 start: float, detail: dict[str, Any]):
+                 start: float, detail: dict[str, Any],
+                 trace_id: int | None = None):
         self.span_id = span_id
         self.parent_id = parent_id
         self.category = category
         self.start = start
         self.detail = detail
+        self.trace_id = trace_id
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Span(#{self.span_id}, {self.category!r}, t0={self.start:.6g})"
@@ -119,18 +132,28 @@ class TelemetryBus:
     #: Alias: ``event`` reads better next to ``span`` at new call sites.
     event = record
 
-    def begin_span(self, time: float, category: str, parent: Span | None = None,
-                   **detail: Any) -> Span | None:
+    def begin_span(self, time: float, category: str,
+                   parent: "Span | int | None" = None,
+                   trace: int | None = None, **detail: Any) -> Span | None:
         """Open a span; returns None (and the matching ``end_span`` no-ops)
-        when the bus is disabled or the category is filtered out."""
+        when the bus is disabled or the category is filtered out.
+
+        ``parent`` is an open :class:`Span` handle, or a bare span id when
+        the parent was opened on another node and only its id travelled
+        (trace propagation through :class:`repro.sim.network.Message`).
+        ``trace`` sets the causal trace id; children inherit the parent
+        handle's trace id when not given explicitly.
+        """
         if not self.enabled:
             return None
         if self.categories is not None and category not in self.categories:
             return None
+        if isinstance(parent, Span):
+            if trace is None:
+                trace = parent.trace_id
+            parent = parent.span_id
         self._next_span += 1
-        return Span(self._next_span,
-                    parent.span_id if parent is not None else None,
-                    category, time, detail)
+        return Span(self._next_span, parent, category, time, detail, trace)
 
     def end_span(self, span: Span | None, time: float, **extra: Any) -> None:
         """Close ``span`` at ``time`` and append it to the buffer."""
@@ -139,10 +162,11 @@ class TelemetryBus:
         detail = {**span.detail, **extra} if extra else span.detail
         self._append(TraceEvent(span.start, span.category, detail,
                                 span.span_id, span.parent_id,
-                                time - span.start))
+                                time - span.start, span.trace_id))
 
     def span(self, time: float, category: str, duration: float = 0.0,
-             parent: Span | None = None, **detail: Any) -> None:
+             parent: "Span | int | None" = None, trace: int | None = None,
+             **detail: Any) -> None:
         """One-shot span: begin and end in a single call (for operations
         that are instantaneous in virtual time, e.g. structural DHT
         lookups whose latency is charged separately by the caller)."""
@@ -150,10 +174,13 @@ class TelemetryBus:
             return
         if self.categories is not None and category not in self.categories:
             return
+        if isinstance(parent, Span):
+            if trace is None:
+                trace = parent.trace_id
+            parent = parent.span_id
         self._next_span += 1
         self._append(TraceEvent(time, category, detail, self._next_span,
-                                parent.span_id if parent is not None else None,
-                                duration))
+                                parent, duration, trace))
 
     def _append(self, rec: TraceEvent) -> None:
         self.records.append(rec)
@@ -178,6 +205,51 @@ class TelemetryBus:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    # -- cross-process transfer -------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """Full-fidelity, picklable dump (mirrors
+        :meth:`repro.telemetry.registry.MetricsRegistry.state`).
+
+        Besides the records themselves it carries the span-id high-water
+        mark and the overflow accounting, so a :meth:`merge` on the
+        receiving side can renumber spans without collisions and keep the
+        ``dropped`` arithmetic truthful.
+        """
+        return {
+            "records": list(self.records),
+            "accepted": self.accepted,
+            "spans": self._next_span,
+        }
+
+    def merge(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`state` dump into this bus, in call order.
+
+        Span and parent ids are offset by this bus's current span counter,
+        so merging per-worker buses in cell-submission order reproduces
+        exactly the ids a single shared bus would have allocated running
+        the same cells serially (each worker's counter starts at zero and
+        allocates the same ids the shared counter would have, shifted by
+        the running total) — the determinism contract behind
+        ``repro run --jobs N`` traces.
+        """
+        offset = self._next_span
+        append = self.records.append
+        for rec in state["records"]:
+            if offset and (rec.span_id is not None
+                           or rec.parent_id is not None):
+                rec = TraceEvent(
+                    rec.time, rec.category, rec.detail,
+                    rec.span_id + offset if rec.span_id is not None else None,
+                    rec.parent_id + offset if rec.parent_id is not None
+                    else None,
+                    rec.duration, rec.trace_id)
+            append(rec)
+        self._next_span += state["spans"]
+        # accepted counts records *ever* appended; importing the worker's
+        # count (not just the surviving records) preserves its drops.
+        self.accepted += state["accepted"]
 
     # -- JSONL export ----------------------------------------------------
 

@@ -22,12 +22,20 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.telemetry.bus import NULL_BUS, TelemetryBus
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.profile import KernelProfile
 from repro.telemetry.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dht.base import RouteResult
+    from repro.grid.job import Job
     from repro.grid.system import DesktopGrid
+
+#: Phase spans parked on ``Job.extra`` by the grid layer, in phase order.
+#: :meth:`Telemetry.close_job_spans` sweeps these on every terminal path
+#: so a FAILED/LOST job cannot leak open (never-appended) spans.
+PHASE_SPAN_KEYS = ("tel_insert", "tel_match", "tel_probe", "tel_dispatch",
+                   "tel_queue", "tel_run")
 
 
 class Telemetry:
@@ -52,13 +60,23 @@ class Telemetry:
     def __init__(self, categories: Iterable[str] | None = None,
                  maxlen: int | None = None, enabled: bool = True,
                  profile_kernel: bool = False,
-                 sample_interval: float | None = None):
+                 sample_interval: float | None = None,
+                 flight_ring: int = 64):
         self.bus = TelemetryBus(categories=categories, enabled=enabled,
                                 maxlen=maxlen) if enabled else NULL_BUS
         self.metrics = MetricsRegistry()
         self.profile: KernelProfile | None = \
             KernelProfile() if (profile_kernel and enabled) else None
         self.sample_interval = sample_interval
+        #: Per-node last-N protocol event rings, dumped into the trace on
+        #: job failure (None when disabled; see telemetry.flight).
+        self.flight: FlightRecorder | None = \
+            FlightRecorder(flight_ring) if (enabled and flight_ring) else None
+        #: Ambient causal context ``(trace_id, parent_span_id)`` set by the
+        #: grid around traced operations whose inner layers (DHT routing)
+        #: have no job in their signatures.  The simulation is single-
+        #: threaded, so a plain attribute is a sound context variable.
+        self.trace_ctx: tuple[int, int | None] | None = None
         self._sim = None
 
     @property
@@ -80,6 +98,14 @@ class Telemetry:
         if not self.enabled:
             return
         self._sim = grid.sim
+        if self.bus.wants("grid.bind"):
+            # Cell boundary marker: sweeps run many independent grids
+            # through one shared bus, and job GUIDs repeat across cells
+            # (same seed => same job names), so the timeline layer needs
+            # this record to segment the stream into per-grid traces.
+            self.bus.record(grid.sim.now, "grid.bind",
+                            nodes=len(grid.node_list),
+                            matchmaker=grid.matchmaker.name)
         if self.profile is not None:
             grid.sim.profile = self.profile
         if self.sample_interval is not None:
@@ -114,13 +140,50 @@ class Telemetry:
 
     def note_dht_lookup(self, proto: str, op: str, result: "RouteResult") -> None:
         """One overlay lookup: hop histogram + a zero-duration span (the
-        routing is structural; its latency is charged by the caller)."""
+        routing is structural; its latency is charged by the caller).
+
+        When the grid set :attr:`trace_ctx` (owner routing / matchmaking
+        on behalf of a specific job), the span carries that job's trace id
+        and parents under the in-flight phase span — DHT-route records
+        join the job's causal tree instead of floating free.
+        """
         self.metrics.histogram(f"dht.{proto}.hops").observe(result.hops)
         if not result.success:
             self.metrics.counter(f"dht.{proto}.failed").inc()
         if self.bus.wants("dht.lookup"):
-            self.bus.span(self.now(), "dht.lookup", proto=proto, op=op,
+            ctx = self.trace_ctx
+            trace, parent = ctx if ctx is not None else (None, None)
+            self.bus.span(self.now(), "dht.lookup", parent=parent,
+                          trace=trace, proto=proto, op=op,
                           hops=result.hops, ok=result.success)
+
+    def close_job_spans(self, job: "Job", status: str,
+                        keys: tuple[str, ...] = PHASE_SPAN_KEYS) -> None:
+        """End any open phase spans parked on ``job.extra``.
+
+        Terminal failure paths (owner lost, dispatch exhausted, client
+        abandonment) used to drop jobs with their ``tel_match``/
+        ``tel_queue`` spans still open — open spans are never appended,
+        so the failed phases vanished from the trace.  This sweeps every
+        phase key and closes what it finds with a ``status`` attribute,
+        making failures *more* visible than successes, not less.
+        """
+        if not self.enabled:
+            return
+        now = self.now()
+        extra = job.extra
+        for key in keys:
+            span = extra.pop(key, None)
+            if span is not None:
+                self.bus.end_span(span, now, status=status)
+
+    def dump_flight(self, job: "Job", node_ids: Iterable[int | None],
+                    reason: str) -> None:
+        """Dump the flight-recorder rings of the nodes involved in a job
+        failure into the trace, keyed by the job's trace id."""
+        if self.flight is None:
+            return
+        self.flight.dump(self.bus, self.now(), job.guid, node_ids, reason)
 
     def note_match(self, matchmaker: str, hops: int, probes: int,
                    pushes: int, found: bool) -> None:

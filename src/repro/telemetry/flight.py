@@ -1,0 +1,91 @@
+"""Per-node flight recorder: the last-N protocol events, dumped on failure.
+
+Aggregate telemetry (metrics, phase spans) answers "how long did things
+take"; when a job *fails* the question becomes "what exactly did the
+involved nodes do just before".  The flight recorder answers it the way a
+black box does: every node keeps a small bounded ring of recent protocol
+events (receive, dispatch, assign, finish, crash, ...) that costs one
+deque append while healthy, and is dumped into the trace — stamped with
+the failing job's trace id so it lands inside that job's span tree — only
+when a job reaches a terminal failure or an invariant trips.
+
+The rings are bounded per node (``maxlen`` entries, 64 by default) so the
+recorder stays attached at production scale; note() allocates one tuple
+and never touches the bus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.bus import TelemetryBus
+
+#: Default per-node ring capacity (events).
+DEFAULT_RING = 64
+
+
+class FlightRecorder:
+    """Bounded per-node rings of recent protocol events."""
+
+    __slots__ = ("maxlen", "_rings")
+
+    def __init__(self, maxlen: int = DEFAULT_RING):
+        if maxlen < 1:
+            raise ValueError("flight-recorder ring must hold >= 1 event")
+        self.maxlen = maxlen
+        self._rings: dict[int, deque] = {}
+
+    def note(self, node_id: int, time: float, event: str,
+             job: int | None = None, info: Any = None) -> None:
+        """Append one event to ``node_id``'s ring (cheap: one tuple,
+        one deque append; old events fall off the far end)."""
+        ring = self._rings.get(node_id)
+        if ring is None:
+            ring = self._rings[node_id] = deque(maxlen=self.maxlen)
+        ring.append((time, event, job, info))
+
+    def ring(self, node_id: int) -> list[dict[str, Any]]:
+        """Snapshot one node's ring as JSONL-ready dicts, oldest first."""
+        out = []
+        for time, event, job, info in self._rings.get(node_id, ()):
+            entry: dict[str, Any] = {"t": time, "ev": event}
+            if job is not None:
+                entry["job"] = job
+            if info is not None:
+                entry["info"] = info
+            out.append(entry)
+        return out
+
+    def dump(self, bus: "TelemetryBus", time: float, trace_id: int | None,
+             node_ids: Iterable[int], reason: str) -> int:
+        """Emit one ``flight.dump`` record per (non-empty) node ring.
+
+        Records are zero-duration spans carrying ``trace_id`` so the
+        timeline layer files them under the failing job's tree.  Returns
+        the number of dump records emitted.
+        """
+        if not bus.wants("flight.dump"):
+            return 0
+        emitted = 0
+        # dict.fromkeys: de-duplicate while keeping caller order (a set
+        # would iterate in hash order — still deterministic, but caller
+        # order reads better in the dump).
+        for nid in dict.fromkeys(node_ids):
+            if nid is None:
+                continue  # e.g. a job that never reached a run node
+            events = self.ring(nid)
+            if not events:
+                continue
+            bus.span(time, "flight.dump", trace=trace_id, node=nid,
+                     reason=reason, events=events)
+            emitted += 1
+        return emitted
+
+    def clear(self) -> None:
+        self._rings.clear()
+
+    def __len__(self) -> int:
+        """Total buffered events across all rings."""
+        return sum(len(r) for r in self._rings.values())

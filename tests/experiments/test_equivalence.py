@@ -71,6 +71,22 @@ class TestPreOptimizationGoldens:
         assert fingerprint(out) == (
             "c7ac01ec22f55bac59abd0e3e94585a51dda72c73f05831fcd40417993aaae82")
 
+    def test_heartbeats_rpc_ack_run_with_tracing(self):
+        """Causal tracing must not move the golden either: trace-context
+        propagation rides the same messages and draws no randomness."""
+        from repro.telemetry import Telemetry
+
+        wl = _workload()
+        cfg = GridConfig(seed=7, spec=wl.spec, heartbeats_enabled=True,
+                         probe_mode="rpc", dispatch_ack=True,
+                         client_resubmit_enabled=True)
+        tel = Telemetry(sample_interval=10.0)
+        out = run_workload(wl, "rn-tree", seed=7, grid_cfg=cfg,
+                           telemetry=tel)
+        assert fingerprint(out) == (
+            "c7ac01ec22f55bac59abd0e3e94585a51dda72c73f05831fcd40417993aaae82")
+        assert len(tel.bus) > 0
+
     def test_centralized_fair_share_run(self):
         wl = _workload()
         cfg = GridConfig(seed=3, spec=wl.spec, queue_discipline="fair-share",

@@ -39,6 +39,27 @@ class TestDeterminism:
             == [r.to_dict() for r in t2.bus.records]
         assert t1.metrics.snapshot() == t2.metrics.snapshot()
 
+    def test_traced_rpc_run_bit_identical_to_bare(self):
+        """Causal propagation rides real probe/dispatch RPCs — the mode
+        with the most instrumentation sites must still be untouched."""
+        wl = FIGURE2_SCENARIOS["clustered-light"].scaled(SCALE)
+        overrides = {"heartbeats_enabled": True, "probe_mode": "rpc",
+                     "dispatch_ack": True}
+        bare = run_workload(wl, "rn-tree", seed=7,
+                            grid_overrides=overrides)
+        tel = Telemetry(sample_interval=10.0)
+        traced = run_workload(wl, "rn-tree", seed=7, telemetry=tel,
+                              grid_overrides=overrides)
+        np.testing.assert_array_equal(bare.wait_times, traced.wait_times)
+        np.testing.assert_array_equal(bare.match_costs, traced.match_costs)
+        assert bare.node_exec_counts == traced.node_exec_counts
+        assert bare.sim_time == traced.sim_time
+        assert bare.summary == traced.summary
+        # ... and the trace actually contains the remote-node spans the
+        # propagation exists for.
+        cats = {r.category for r in tel.bus.records}
+        assert {"job.probe", "job.dispatch", "rpc.server"} <= cats
+
 
 class TestEndToEnd:
     def test_jsonl_export_has_spans_and_trailers(self, tmp_path):

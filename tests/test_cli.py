@@ -162,3 +162,96 @@ class TestTrace:
                             ("desc", lambda scale, seeds: _FakeResult()))
         assert main(["run", "ablation-k", "--telemetry", "/tmp/x.jsonl"]) == 0
         assert "does not support" in capsys.readouterr().err
+
+
+class TestJobTrace:
+    def test_job_trace_renders_timelines(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        code = main(["job-trace", "figure2", "--scale", "0.02",
+                     "--slowest", "2", "--check", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "causal trace:" in text
+        assert "job.lifecycle" in text
+        assert "critical path:" in text
+        assert "Per-phase latency" in text
+        assert "verdict: clean" in text
+        assert out.exists()
+        # The exported stream reconstructs to the same healthy timeline,
+        # remote probe spans included (default probe mode is rpc).
+        from repro.telemetry.timeline import timeline_from_jsonl
+
+        tl = timeline_from_jsonl(out)
+        assert tl.healthy
+        assert tl.cells == 12  # 4 scenarios x 3 matchmakers
+        cats = {s.category for j in tl.jobs for s in j.spans}
+        assert {"job.probe", "job.dispatch", "rpc.server"} <= cats
+
+    def test_job_trace_check_fails_on_anomalies(self, capsys, monkeypatch):
+        from repro import cli
+
+        def fake_runner(scale, seeds, tel, overrides, jobs=None):
+            # An orphan: parent id 999 never appears in the stream.
+            tel.bus.span(1.0, "job.run", parent=999, trace=7, job="j-0")
+
+        monkeypatch.setitem(cli.JOB_TRACE_RUNNERS, "figure2", fake_runner)
+        assert main(["job-trace", "figure2", "--check"]) == 1
+        assert "anomalies detected" in capsys.readouterr().err
+
+    def test_job_trace_unwritable_out_fails_fast(self, capsys):
+        assert main(["job-trace", "figure2",
+                     "--out", "/nonexistent/d/x.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_probe_mode_oracle_plumbs_overrides(self, monkeypatch):
+        from repro import cli
+
+        captured = {}
+
+        def fake_runner(scale, seeds, tel, overrides, jobs=None):
+            captured.update(overrides, scale=scale, jobs=jobs)
+
+        monkeypatch.setitem(cli.JOB_TRACE_RUNNERS, "figure2", fake_runner)
+        assert main(["job-trace", "figure2", "--probe-mode", "oracle",
+                     "--scale", "0.5", "--jobs", "2"]) == 0
+        assert captured == {"probe_mode": "oracle", "dispatch_ack": False,
+                            "scale": 0.5, "jobs": 2}
+
+
+class TestPerfHistory:
+    def test_perf_history_empty_repo(self, capsys, tmp_path):
+        import subprocess
+
+        subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+        assert main(["perf-history", "--repo", str(tmp_path)]) == 0
+        assert "no committed revisions" in capsys.readouterr().out
+
+    def test_perf_history_walks_commits(self, capsys, tmp_path):
+        import json
+        import subprocess
+
+        def git(*args):
+            subprocess.run(["git", "-C", str(tmp_path), *args], check=True,
+                           capture_output=True)
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        doc_dir = tmp_path / "benchmarks" / "reports"
+        doc_dir.mkdir(parents=True)
+        path = doc_dir / "BENCH_perf.json"
+        base = {"schema": 1, "scale": 0.1, "cpu_count": 4, "entries": {
+            "grid.steady_state": {"wall_s": 2.0, "events_per_s": 1000.0}}}
+        path.write_text(json.dumps(base))
+        git("add", "-A")
+        git("commit", "-qm", "first bench")
+        base["entries"]["grid.steady_state"]["events_per_s"] = 2000.0
+        path.write_text(json.dumps(base))
+        git("add", "-A")
+        git("commit", "-qm", "twice as fast")
+        assert main(["perf-history", "--repo", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 measured revision(s)" in out
+        assert "grid.steady_state" in out
+        assert "2.00x" in out
+        assert "twice as fast" in out

@@ -1,0 +1,48 @@
+"""The perf-gate diff: cpu-sensitive cells soften when hosts differ."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from diff_perf import compare  # noqa: E402
+
+
+def _doc(cpu_count: int, parallel: float, serial: float) -> dict:
+    return {
+        "schema": 1, "scale": 0.1, "cpu_count": cpu_count,
+        "entries": {
+            "figure2.parallel": {"wall_s": 1.0, "cells_per_s": parallel},
+            "figure2.serial": {"wall_s": 1.0, "cells_per_s": serial},
+        },
+    }
+
+
+def _status(rows: list[tuple], cell: str) -> str:
+    return next(r[5] for r in rows if r[0] == cell)
+
+
+class TestCpuSoftening:
+    def test_parallel_regression_warns_when_cpu_count_differs(self):
+        rows, regressed = compare(_doc(8, 100.0, 10.0),
+                                  _doc(1, 20.0, 10.0), tolerance=0.5)
+        assert _status(rows, "figure2.parallel") == "warn (cpu)"
+        assert "figure2.parallel" not in regressed
+
+    def test_parallel_regression_gates_on_same_host(self):
+        rows, regressed = compare(_doc(8, 100.0, 10.0),
+                                  _doc(8, 20.0, 10.0), tolerance=0.5)
+        assert _status(rows, "figure2.parallel") == "REGRESSED"
+        assert "figure2.parallel" in regressed
+
+    def test_cpu_insensitive_cells_still_gate_across_hosts(self):
+        rows, regressed = compare(_doc(8, 100.0, 10.0),
+                                  _doc(1, 100.0, 2.0), tolerance=0.5)
+        assert _status(rows, "figure2.serial") == "REGRESSED"
+        assert "figure2.serial" in regressed
+
+    def test_ok_cells_unaffected(self):
+        rows, regressed = compare(_doc(8, 100.0, 10.0),
+                                  _doc(1, 100.0, 10.0), tolerance=0.5)
+        assert _status(rows, "figure2.parallel") == "ok"
+        assert not regressed

@@ -25,6 +25,7 @@ from pathlib import Path
 from perf import (
     BASELINE_PATH,
     CPU_SENSITIVE_CELLS,
+    MEMORY_METRICS,
     PERF_PATH,
     PERF_SCHEMA,
     SCALE_FREE_CELLS,
@@ -44,8 +45,9 @@ def compare(baseline: dict, current: dict,
     """Per-cell rows plus the names of regressed cells.
 
     Row: (cell, metric, baseline value, current value, ratio, status) —
-    status is ``ok`` / ``REGRESSED`` / ``warn (cpu)`` / ``skipped (scale)``
-    / ``missing``.  When the two documents were recorded on hosts with a
+    status is ``ok`` / ``REGRESSED`` / ``warn (cpu)`` / ``warn (mem)`` /
+    ``skipped (scale)`` / ``missing``.  Memory metrics (``MEMORY_METRICS``)
+    warn on growth past tolerance but never gate.  When the two documents were recorded on hosts with a
     different ``cpu_count``, regressions in ``CPU_SENSITIVE_CELLS`` are
     softened to ``warn (cpu)`` and do not gate: a parallel sweep losing
     throughput because the runner has fewer cores than the baseline host
@@ -74,6 +76,18 @@ def compare(baseline: dict, current: dict,
         else:
             status = "ok"
         rows.append((cell, metric, before, after, ratio, status))
+    # Memory metrics are warn-only: peak footprint growing is usually a
+    # deliberate space/time trade (and tracemalloc peaks are noisy), so a
+    # memory increase is surfaced in the table but never gates.
+    for cell in sorted(set(baseline["entries"]) & set(current["entries"])):
+        for metric in sorted(MEMORY_METRICS):
+            before = baseline["entries"][cell].get(metric)
+            after = current["entries"][cell].get(metric)
+            if before is None or after is None:
+                continue
+            ratio = after / before if before else float("inf")
+            status = "warn (mem)" if ratio > 1.0 + tolerance else "ok"
+            rows.append((cell, metric, before, after, ratio, status))
     return rows, regressed
 
 

@@ -28,9 +28,21 @@ against a recorded baseline (``BENCH_perf.baseline.json``).
         "grid.steady_state": {"wall_s": ..., "sim_events": ...,
                               "events_per_s": ..., "n_nodes": ...},
         "rntree.churn_maintenance": {"wall_s": ..., "churn_ops": ...,
-                                     "ops_per_s": ..., "n_nodes": ...}
+                                     "ops_per_s": ..., "n_nodes": ...},
+        "grid.large_scale": {"wall_s": ..., "sim_events": ...,
+                             "events_per_s": ..., "n_nodes": ...,
+                             "mem_peak_mb": ..., "bytes_per_node": ...},
+        "dht.churn": {"wall_s": ..., "churn_steps": ..., "lookups": ...,
+                      "ops_per_s": ..., "n_nodes": ...,
+                      "mem_peak_mb": ..., "bytes_per_node": ...}
       }
     }
+
+Memory fields (``mem_peak_mb``, ``bytes_per_node``) are ``tracemalloc``
+peaks measured over the cell body.  Tracing slows allocation-heavy code,
+so cells carrying memory fields pay that overhead in their ``wall_s`` —
+consistently, baseline and comparison alike.  ``diff_perf.py`` treats
+memory metrics as warn-only: a memory increase never fails the gate.
 
 Cells named under ``SCALE_FREE_CELLS`` use fixed internal sizes, so their
 throughput numbers are comparable across runs regardless of
@@ -64,7 +76,14 @@ SCALE_FREE_CELLS: dict[str, str] = {
     "latency.sampling": "samples_per_s",
     "grid.steady_state": "events_per_s",
     "rntree.churn_maintenance": "ops_per_s",
+    "grid.large_scale": "events_per_s",
+    "dht.churn": "ops_per_s",
 }
+
+#: Metrics that report resource footprint, not speed.  Lower is better,
+#: but growth is usually a deliberate space/time trade — diff_perf never
+#: fails on these, it warns.
+MEMORY_METRICS: frozenset[str] = frozenset({"mem_peak_mb", "bytes_per_node"})
 
 #: The headline throughput metric of every known cell (scale-dependent
 #: cells are only comparable between runs at the same scale).
@@ -249,6 +268,65 @@ def bench_rntree_maintenance(n_nodes: int = 150, cycles: int = 150,
     ops = 2 * cycles
     return {"wall_s": wall, "churn_ops": float(ops), "ops_per_s": ops / wall,
             "n_nodes": float(n_nodes)}
+
+
+def bench_large_scale_grid(n_nodes: int | None = None,
+                           seed: int = 1) -> dict[str, float]:
+    """Events/sec plus peak memory of a large-N workload cell.
+
+    Exercises the scale-out kernel paths (timer wheel, batched dispatch,
+    columnar registry) at a size the per-job heap path never saw.  Fixed
+    default N=2048 (scale-free); set ``REPRO_BENCH_LARGE_N=10000`` to
+    opt in to the full-size cell locally.  Wall-clock includes the
+    ``tracemalloc`` overhead — see the module docstring.
+    """
+    import tracemalloc
+
+    from repro.experiments.large_scale import run_workload_cell
+
+    if n_nodes is None:
+        n_nodes = int(os.environ.get("REPRO_BENCH_LARGE_N", "2048"))
+    tracemalloc.start()
+    try:
+        cell = run_workload_cell(n_nodes, seed=seed)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {"wall_s": cell.wall_s,
+            "sim_events": cell.metrics["sim_events"],
+            "events_per_s": cell.metrics["events_per_s"],
+            "n_nodes": float(n_nodes),
+            "mem_peak_mb": peak / 2**20,
+            "bytes_per_node": peak / n_nodes}
+
+
+def bench_dht_churn(n_nodes: int = 100_000, steps: int = 50,
+                    lookups: int = 200, seed: int = 1) -> dict[str, float]:
+    """Churn ops/sec plus peak memory of the 100k-node Chord cell.
+
+    Builds the full ring, then crash/repair + rejoin cycles with lookups
+    throughout — the membership-scale stress the paper's premise implies
+    but never measures.  Fixed size (scale-free); wall-clock includes
+    the ``tracemalloc`` overhead — see the module docstring.
+    """
+    import tracemalloc
+
+    from repro.experiments.large_scale import run_churn_cell
+
+    tracemalloc.start()
+    try:
+        cell = run_churn_cell(n_nodes, steps=steps, lookups=lookups,
+                              seed=seed)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {"wall_s": cell.wall_s,
+            "churn_steps": cell.metrics["churn_steps"],
+            "lookups": cell.metrics["lookups"],
+            "ops_per_s": cell.metrics["ops_per_s"],
+            "n_nodes": float(n_nodes),
+            "mem_peak_mb": peak / 2**20,
+            "bytes_per_node": peak / n_nodes}
 
 
 # ----------------------------------------------------------------------

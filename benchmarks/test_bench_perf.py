@@ -19,9 +19,11 @@ import os
 
 from conftest import BENCH_SCALE, BENCH_SEEDS
 from perf import (
+    bench_dht_churn,
     bench_figure2,
     bench_grid_steady_state,
     bench_kernel_events,
+    bench_large_scale_grid,
     bench_latency_sampling,
     bench_message_throughput,
     bench_rntree_maintenance,
@@ -48,6 +50,8 @@ def test_perf_trajectory(benchmark):
         entries["latency.sampling"] = bench_latency_sampling()
         entries["grid.steady_state"] = bench_grid_steady_state()
         entries["rntree.churn_maintenance"] = bench_rntree_maintenance()
+        entries["grid.large_scale"] = bench_large_scale_grid()
+        entries["dht.churn"] = bench_dht_churn()
         return entries
 
     benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -61,6 +65,9 @@ def test_perf_trajectory(benchmark):
     assert written["schema"] == 1
     for name, cell in written["entries"].items():
         assert cell["wall_s"] > 0, name
+    for name in ("grid.large_scale", "dht.churn"):
+        assert written["entries"][name]["mem_peak_mb"] > 0, name
+        assert written["entries"][name]["bytes_per_node"] > 0, name
     speedup = written["entries"]["figure2.parallel"]["speedup_vs_serial"]
 
     # Multi-core speedup is only assertable on multi-core hosts; the

@@ -25,6 +25,7 @@ from repro.experiments import (
     run_walk_length_sweep,
     run_dht_scaling,
     run_fairness_experiment,
+    run_large_scale,
     run_figure2,
     run_hops_experiment,
     run_k_sweep_ablation,
@@ -66,6 +67,13 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
                   seeds=seeds, jobs=jobs)),
     "dht-scaling": ("DHT lookup cost vs N (Chord/Pastry/Kademlia/CAN)",
                     lambda scale, seeds, jobs=None: run_dht_scaling(
+                        seed=seeds[0], include_large=scale >= 1.0,
+                        jobs=jobs)),
+    "large-scale": ("scale-out kernel validation at 10k-100k nodes",
+                    lambda scale, seeds, jobs=None: run_large_scale(
+                        workload_sizes=(max(50, int(2000 * scale)),
+                                        max(100, int(10_000 * scale))),
+                        churn_n=max(500, int(100_000 * scale)),
                         seed=seeds[0], jobs=jobs)),
     "protocol": ("message-level Chord maintenance vs reliability",
                  lambda scale, seeds, jobs=None: run_protocol_experiment(
@@ -106,6 +114,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 SINGLE_SEED_EXPERIMENTS = frozenset({
     "dht-scaling", "protocol", "ablation-vdim", "ablation-k", "ablation-ttl",
     "fairness", "scaling", "tuning-heartbeat", "tuning-walk", "tuning-latency",
+    "large-scale",
 })
 
 #: Experiments that can attach a telemetry stack: name -> runner taking

@@ -452,11 +452,31 @@ class ChordOverlay(DHTOverlay):
         pred = self._oracle_predecessor(node.node_id)
         node.predecessor = pred if pred is not None else node
         ids = self._live_ids
+        nodes = self.nodes
+        bl = bisect.bisect_left
+        mask = (1 << self.bits) - 1
+        nid = node.node_id
         fingers: list[ChordNode | None] = []
+        append = fingers.append
+        # Consecutive finger targets usually land on the same successor
+        # (live ids are sparse on the ring), so reuse the previous bisect
+        # hit while the new target still falls at or before it: bisect_left
+        # found no id in [prev_target, last_id), hence none in
+        # [prev_target, target) either when target <= last_id.
+        prev_target = -1
+        last_id = -1
+        last_node = None
         for i in range(self.bits):
-            target = ring_add(node.node_id, 1 << i, bits=self.bits)
-            idx = bisect.bisect_left(ids, target)
+            target = (nid + (1 << i)) & mask
+            if prev_target <= target <= last_id:
+                append(last_node)
+                prev_target = target
+                continue
+            idx = bl(ids, target)
             if idx == n:
                 idx = 0
-            fingers.append(self.nodes[ids[idx]])
+            last_id = ids[idx]
+            last_node = nodes[last_id]
+            append(last_node)
+            prev_target = target
         node.fingers = fingers

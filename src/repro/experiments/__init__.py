@@ -17,6 +17,7 @@ from repro.experiments.ablations import (
     run_virtual_dimension_ablation,
 )
 from repro.experiments.fairness import run_fairness_experiment
+from repro.experiments.large_scale import LargeScaleResult, run_large_scale
 from repro.experiments.matchpipe import run_matchpipe_ablation
 from repro.experiments.protocol import run_protocol_experiment
 from repro.experiments.scaling import run_scaling_experiment
@@ -40,6 +41,8 @@ __all__ = [
     "run_ttl_ablation",
     "run_virtual_dimension_ablation",
     "run_fairness_experiment",
+    "LargeScaleResult",
+    "run_large_scale",
     "run_matchpipe_ablation",
     "run_protocol_experiment",
     "run_scaling_experiment",

@@ -13,6 +13,7 @@ Pastry, O(log N) queries for Kademlia, and O(d * N^(1/d)) for CAN.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -26,16 +27,32 @@ from repro.util.ids import guid_for
 from repro.util.rng import RngStreams
 
 
+#: Populations past the paper's scale, exercised by ``include_large`` (the
+#: "large-scale" path): build + lookup cost at 2k–10k nodes per substrate.
+LARGE_SIZES: tuple[int, ...] = (2048, 4096, 10000)
+
+#: Default per-size wall-clock budget (seconds).  Pastry's O(N log N)
+#: build dominates past ~4k nodes; a cell exceeding the budget is
+#: *recorded* as over budget in the result, never failed — the data is
+#: still valid, the flag is the "this size is getting expensive" signal.
+DEFAULT_CELL_BUDGET_S = 120.0
+
+
 @dataclass
 class DHTScalingResult:
     sizes: tuple[int, ...]
     can_dims: int
     mean_hops: dict[str, list[float]] = field(default_factory=dict)
+    #: Wall-clock per size cell (all four substrates), parallel to sizes.
+    wall_s: list[float] = field(default_factory=list)
+    #: Budget-guard verdict per size cell, parallel to sizes.
+    over_budget: list[bool] = field(default_factory=list)
+    cell_budget_s: float = DEFAULT_CELL_BUDGET_S
 
     def report(self) -> str:
         rows = []
         for i, n in enumerate(self.sizes):
-            rows.append([
+            row = [
                 n,
                 round(self.mean_hops["chord"][i], 2),
                 round(self.mean_hops["pastry"][i], 2),
@@ -43,11 +60,17 @@ class DHTScalingResult:
                 round(self.mean_hops["can"][i], 2),
                 round(float(np.log2(n)), 2),
                 round(float(self.can_dims / 4 * n ** (1 / self.can_dims)), 2),
-            ])
+            ]
+            if self.wall_s:
+                row.append(round(self.wall_s[i], 1))
+                row.append("OVER" if self.over_budget[i] else "ok")
+            rows.append(row)
+        headers = ["N", "chord hops", "pastry hops", "kademlia queries",
+                   "can hops", "log2(N)", "(d/4)N^(1/d)"]
+        if self.wall_s:
+            headers += ["wall s", "budget"]
         return format_table(
-            ["N", "chord hops", "pastry hops", "kademlia queries", "can hops",
-             "log2(N)", "(d/4)N^(1/d)"],
-            rows,
+            headers, rows,
             title=f"DHT lookup cost scaling (CAN d={self.can_dims})",
         )
 
@@ -88,6 +111,7 @@ def _run_size_cell(n: int, lookups: int, can_dims: int,
     keyed and every name here embeds ``n``, so cells are independent and
     safe to run in worker processes.
     """
+    t0 = perf_counter()
     streams = RngStreams(seed)
     ids = sorted({guid_for(f"dht-node-{n}-{i}") for i in range(n)})
     out: dict[str, float] = {}
@@ -114,19 +138,35 @@ def _run_size_cell(n: int, lookups: int, can_dims: int,
         if res.success:
             hops.append(res.hops)
     out["can"] = float(np.mean(hops))
+    out["wall_s"] = perf_counter() - t0
     return out
 
 
 def run_dht_scaling(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
                     lookups: int = 300, can_dims: int = 4,
                     seed: int = 1,
+                    include_large: bool = False,
+                    cell_budget_s: float = DEFAULT_CELL_BUDGET_S,
                     jobs: int | None = None) -> DHTScalingResult:
-    result = DHTScalingResult(sizes=sizes, can_dims=can_dims)
+    """Lookup-cost scaling across all four substrates.
+
+    ``include_large`` appends :data:`LARGE_SIZES` (2048/4096/10000) to
+    ``sizes``.  Each size cell's wall-clock is checked against
+    ``cell_budget_s``: exceeding it is recorded in the result's
+    ``over_budget`` flags (and the report column), not raised.
+    """
+    if include_large:
+        sizes = tuple(sizes) + tuple(n for n in LARGE_SIZES
+                                     if n not in sizes)
+    result = DHTScalingResult(sizes=sizes, can_dims=can_dims,
+                              cell_budget_s=cell_budget_s)
     cells = map_cells(_run_size_cell,
                       [call(n, lookups, can_dims, seed) for n in sizes],
                       jobs=jobs)
     for name in ("chord", "pastry", "kademlia", "can"):
         result.mean_hops[name] = [cell[name] for cell in cells]
+    result.wall_s = [cell["wall_s"] for cell in cells]
+    result.over_budget = [cell["wall_s"] > cell_budget_s for cell in cells]
     return result
 
 

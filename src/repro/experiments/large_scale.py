@@ -1,0 +1,202 @@
+"""Large-scale validation: the scale-out kernel at 10k–100k nodes.
+
+The paper's premise is that P2P services let a desktop grid grow far past
+what a centralized server tracks comfortably; its own evaluation stops at
+1000 nodes.  This experiment exercises the kernel mechanisms built for
+the next two orders of magnitude — the hierarchical timer wheel, batched
+same-timestamp dispatch, and the columnar node registry — at those sizes:
+
+* **workload cells** — an N-node grid (RN-Tree matchmaking, heartbeats
+  on) drains a 2N-job stream at constant offered load (arrival rate
+  scales with N, per-node utilization matches the paper's setup);
+* **churn step cell** — a Chord ring of ``churn_n`` nodes (100k by
+  default; Chord is the only substrate that builds at that size in
+  seconds) absorbs crash/rejoin cycles with oracle repair and serves
+  lookups throughout.
+
+Every cell runs under a wall-clock budget.  Exceeding it sets
+``over_budget=True`` on the cell — recorded in the result and the report,
+never raised — so large cells on slow hosts degrade loudly, not fatally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+
+import numpy as np
+
+from repro.dht.chord import ChordOverlay
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.util.ids import guid_for
+from repro.util.rng import RngStreams
+from repro.workloads.spec import WorkloadConfig
+
+#: Default per-cell wall-clock budget (seconds).  The 10k-node workload
+#: cell is expected to finish well inside this on a developer machine.
+DEFAULT_CELL_BUDGET_S = 300.0
+
+
+@dataclass
+class LargeScaleCell:
+    """One timed cell: its size, wall-clock, budget, and metrics."""
+
+    name: str
+    n: int
+    wall_s: float
+    budget_s: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def over_budget(self) -> bool:
+        return self.wall_s > self.budget_s
+
+
+@dataclass
+class LargeScaleResult:
+    cells: list[LargeScaleCell] = field(default_factory=list)
+
+    @property
+    def any_over_budget(self) -> bool:
+        return any(c.over_budget for c in self.cells)
+
+    def report(self) -> str:
+        rows = []
+        for c in self.cells:
+            rows.append([
+                c.name,
+                c.n,
+                round(c.wall_s, 1),
+                "OVER" if c.over_budget else "ok",
+                round(c.metrics.get("events_per_s",
+                                    c.metrics.get("ops_per_s", 0.0))),
+                round(c.metrics.get("wait_mean",
+                                    c.metrics.get("mean_hops", 0.0)), 2),
+            ])
+        return format_table(
+            ["cell", "N", "wall s", "budget", "events|ops /s",
+             "wait|hops"],
+            rows,
+            title="Large-scale kernel validation",
+        )
+
+    def shape_checks(self) -> dict[str, bool]:
+        workload = [c for c in self.cells if c.name == "workload"]
+        churn = [c for c in self.cells if c.name == "dht-churn"]
+        return {
+            "all_cells_within_budget": not self.any_over_budget,
+            "workloads_drained": all(
+                c.metrics.get("finished") == 1.0 for c in workload),
+            "churn_lookups_resolved": all(
+                c.metrics.get("lookups", 0) > 0
+                and c.metrics.get("mean_hops", 0) > 0 for c in churn),
+        }
+
+
+def run_workload_cell(n: int, seed: int = 1,
+                      budget_s: float = DEFAULT_CELL_BUDGET_S
+                      ) -> LargeScaleCell:
+    """Drain a 2N-job stream through an N-node grid, heartbeats on.
+
+    Per-node offered load matches the paper's setup (arrival rate scales
+    with N), so cells at different N are comparable; the job count is 2
+    per node to bound wall-clock at 10k+.
+    """
+    workload = replace(
+        WorkloadConfig(),
+        n_nodes=n,
+        n_jobs=2 * n,
+        mean_interarrival=100.0 / n,
+    )
+    t0 = perf_counter()
+    out = run_workload(workload, "rn-tree", seed=seed,
+                       grid_overrides={"heartbeats_enabled": True})
+    wall = perf_counter() - t0
+    return LargeScaleCell(
+        name="workload",
+        n=n,
+        wall_s=wall,
+        budget_s=budget_s,
+        metrics={
+            "sim_events": float(out.events),
+            "events_per_s": out.events / wall if wall > 0 else 0.0,
+            "jobs": float(workload.n_jobs),
+            "wait_mean": out.summary["wait_mean"],
+            "completed": out.summary["completed"],
+            "finished": float(out.finished),
+        },
+    )
+
+
+def run_churn_cell(n: int = 100_000, steps: int = 50, lookups: int = 200,
+                   seed: int = 1,
+                   budget_s: float = DEFAULT_CELL_BUDGET_S
+                   ) -> LargeScaleCell:
+    """Build an n-node Chord ring, apply crash/rejoin churn, keep looking up.
+
+    Each step crashes one random live node (with oracle repair of the
+    affected pointers) and rejoins a previously crashed one, then issues
+    ``lookups // steps`` routed lookups — the overlay must keep resolving
+    correctly while membership churns at 100k scale.
+    """
+    streams = RngStreams(seed)
+    ids = sorted({guid_for(f"ls-churn-{n}-{i}") for i in range(n)})
+    chord = ChordOverlay(streams[f"ls-chord-{n}"])
+    t0 = perf_counter()
+    chord.build(ids)
+    build_s = perf_counter() - t0
+
+    rng = streams[f"ls-churn-victims-{n}"]
+    per_step = max(1, lookups // steps)
+    hops: list[int] = []
+    crashed: list[int] = []
+    t1 = perf_counter()
+    for step in range(steps):
+        victim = ids[int(rng.integers(0, len(ids)))]
+        if chord.nodes[victim].alive:
+            chord.crash_repair(victim)  # crash + incremental oracle splice
+            crashed.append(victim)
+        if len(crashed) > 1 and step % 2 == 1:
+            back = crashed.pop(0)
+            chord.recover(back, oracle=True)
+        for i in range(per_step):
+            res = chord.route(guid_for(f"ls-lookup-{n}-{step}-{i}"))
+            if res.success:
+                hops.append(res.hops)
+    churn_s = perf_counter() - t1
+    wall = build_s + churn_s
+    ops = steps + len(hops)
+    return LargeScaleCell(
+        name="dht-churn",
+        n=n,
+        wall_s=wall,
+        budget_s=budget_s,
+        metrics={
+            "build_s": build_s,
+            "churn_s": churn_s,
+            "churn_steps": float(steps),
+            "lookups": float(len(hops)),
+            "mean_hops": float(np.mean(hops)) if hops else 0.0,
+            "ops_per_s": ops / churn_s if churn_s > 0 else 0.0,
+        },
+    )
+
+
+def run_large_scale(workload_sizes: tuple[int, ...] = (2000, 10_000),
+                    churn_n: int = 100_000, churn_steps: int = 50,
+                    seed: int = 1,
+                    budget_s: float = DEFAULT_CELL_BUDGET_S,
+                    jobs: int | None = None) -> LargeScaleResult:
+    """The full large-scale suite: workload cells at each size plus the
+    100k-node churn step.  Cells run serially on purpose — each one's
+    wall-clock is a measurement, and concurrent cells would distort it
+    (``jobs`` is accepted for CLI-registry compatibility and ignored).
+    """
+    result = LargeScaleResult()
+    for n in workload_sizes:
+        result.cells.append(run_workload_cell(n, seed=seed,
+                                              budget_s=budget_s))
+    result.cells.append(run_churn_cell(churn_n, steps=churn_steps,
+                                       seed=seed, budget_s=budget_s))
+    return result

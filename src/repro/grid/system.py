@@ -13,6 +13,7 @@ from typing import Sequence
 from repro.grid.client import Client
 from repro.grid.job import Job, JobState
 from repro.grid.node import GridNode
+from repro.grid.registry import NodeRegistry
 from repro.grid.resources import ResourceSpec, Vector
 from repro.grid.sandbox import SandboxPolicy
 from repro.match.base import Matchmaker, MatchResult
@@ -38,6 +39,13 @@ class GridConfig:
 
     seed: int = 0
     spec: ResourceSpec = field(default_factory=ResourceSpec)
+
+    # Kernel: recurring protocol timers (heartbeats, monitor sweeps, DHT
+    # maintenance) wait on the hierarchical timer wheel instead of the
+    # event heap.  Firing order is identical either way (wheel timers
+    # carry the same global sequence numbers); the toggle exists for A/B
+    # equivalence tests and for bisecting kernel regressions.
+    timer_wheel: bool = True
 
     # Network.
     mean_latency: float = 0.05
@@ -153,7 +161,7 @@ class DesktopGrid:
                  trace: "TraceRecorder | None" = None,
                  telemetry: "Telemetry | None" = None):
         self.cfg = cfg
-        self.sim = Simulator()
+        self.sim = Simulator(timer_wheel=cfg.timer_wheel)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if trace is not None:
             self.trace = trace
@@ -205,6 +213,12 @@ class DesktopGrid:
             self.node_list.append(node)
             self.network.register(node)
             self.rpc.serve(node.node_id, node._handle_rpc)
+
+        #: Columnar liveness/load mirror (see repro.grid.registry); nodes
+        #: learn their dense index so the mirror updates are O(1) stores.
+        self.registry = NodeRegistry(self.node_list)
+        for i, node in enumerate(self.node_list):
+            node._reg_idx = i
 
         self.matchmaker = matchmaker
         matchmaker.bind(self)
@@ -376,6 +390,7 @@ class DesktopGrid:
     # ------------------------------------------------------------------
 
     def on_queue_change(self, node: GridNode) -> None:
+        self.registry.queue_len[node._reg_idx] = node.queue_len
         self.matchmaker.note_queue_change(node)
 
     # ------------------------------------------------------------------
@@ -406,4 +421,4 @@ class DesktopGrid:
 
     def node_execution_counts(self) -> list[int]:
         """Jobs executed per node (load-balance / fairness metric)."""
-        return [n.jobs_executed for n in self.node_list]
+        return self.registry.execution_counts()

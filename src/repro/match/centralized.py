@@ -41,9 +41,7 @@ class CentralizedMatchmaker(Matchmaker):
         super().__init__()
         self.server_mode = server_mode
         self._caps: CapabilityMatrix | None = None
-        self._loads: np.ndarray | None = None
-        self._alive: np.ndarray | None = None
-        self._index: dict[int, int] = {}
+        self._eligible: np.ndarray | None = None
         self.server = None
 
     def bind(self, grid) -> None:
@@ -51,13 +49,15 @@ class CentralizedMatchmaker(Matchmaker):
         nodes = grid.node_list
         self._caps = CapabilityMatrix.from_capabilities(
             grid.cfg.spec, [n.capability for n in nodes])
-        self._loads = np.zeros(len(nodes), dtype=np.int64)
-        self._alive = np.ones(len(nodes), dtype=bool)
-        self._index = {n.node_id: i for i, n in enumerate(nodes)}
         self._rng = grid.streams["match"]
+        # Liveness and load come straight from the grid's columnar
+        # NodeRegistry (same dense order as node_list) — the matchmaker
+        # no longer shadows them, so the crash/recover/queue-change hooks
+        # below are gone.  Only the static eligibility mask is local.
+        self._eligible = np.ones(len(nodes), dtype=bool)
         if self.server_mode:
             self.server = nodes[0]
-            self._alive[0] = False  # the server is never a run-node candidate
+            self._eligible[0] = False  # the server never runs jobs
 
     # -- owner mapping -------------------------------------------------------
 
@@ -86,7 +86,8 @@ class CentralizedMatchmaker(Matchmaker):
         grid = self._require_grid()
         if self.server_mode and (self.server is None or not self.server.alive):
             return CandidateSet(charge_probes=False)
-        mask = self._caps.satisfying_mask(job.profile.requirements) & self._alive
+        mask = self._caps.satisfying_mask(job.profile.requirements) \
+            & grid.registry.alive & self._eligible
         tel = grid.telemetry
         if tel.enabled:
             # The oracle "examines" every live satisfying node; recording it
@@ -99,18 +100,3 @@ class CentralizedMatchmaker(Matchmaker):
                         for i in np.flatnonzero(mask)],
             charge_probes=False)
 
-    # -- bookkeeping -------------------------------------------------------------
-
-    def note_queue_change(self, node) -> None:
-        self._loads[self._index[node.node_id]] = node.queue_len
-
-    def on_crash(self, node) -> None:
-        i = self._index[node.node_id]
-        self._alive[i] = False
-        self._loads[i] = 0
-
-    def on_join(self, node) -> None:
-        if self.server_mode and self.server is not None \
-                and node.node_id == self.server.node_id:
-            return  # the server stays out of the candidate pool
-        self._alive[self._index[node.node_id]] = True

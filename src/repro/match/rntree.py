@@ -70,6 +70,12 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         #: re-parent — everyone else's tree edge is provably unchanged.
         self._probe_list: list[tuple[int, int]] = []
         self._probe_points: dict[int, tuple[int, ...]] = {}
+        #: node_id -> sorted live finger ids, for the random-walk step.
+        #: Fingers only change on churn (crash_repair / recover / join),
+        #: so the per-search set-build + sort is paid once per node per
+        #: churn epoch instead of per walk step.  Values are identical to
+        #: the uncached computation, so rng draws are bit-identical.
+        self._walk_choices: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -87,6 +93,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         self.tree = {}
         self._probe_list = []
         self._probe_points = {}
+        self._walk_choices.clear()
         for node in self.chord.live_nodes():
             self.tree[node.node_id] = _TreeNode(node.node_id)
         for tnode in self.tree.values():
@@ -287,11 +294,14 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
 
     def _random_neighbor(self, node_id: int) -> int | None:
         """A uniformly random live finger of ``node_id`` (walk step)."""
-        node = self.chord.nodes.get(node_id)
-        if node is None or not node.alive:
-            return None
-        choices = sorted({f.node_id for f in node.fingers
-                          if f is not None and f.alive and f.node_id != node_id})
+        choices = self._walk_choices.get(node_id)
+        if choices is None:
+            node = self.chord.nodes.get(node_id)
+            if node is None or not node.alive:
+                return None
+            choices = self._walk_choices[node_id] = tuple(sorted(
+                {f.node_id for f in node.fingers
+                 if f is not None and f.alive and f.node_id != node_id}))
         if not choices:
             return None
         return choices[int(self._rng.integers(0, len(choices)))]
@@ -306,22 +316,38 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         candidates: list[int] = []
         hops = 0
 
+        tree = self.tree
+        nodes = grid.nodes
+
         def dfs(root_id: int, charge_entry: bool) -> None:
             nonlocal hops
             stack = [(root_id, charge_entry)]
+            pop = stack.pop
+            push = stack.append
+            found = candidates.append
+            # ``satisfies`` is inlined below (for/else = all dims meet the
+            # requirement): this loop dominates extended-search time and
+            # the call overhead per visited node/child was measurable.
             while stack and len(candidates) < k:
-                nid, charge = stack.pop()
+                nid, charge = pop()
                 if charge:
                     hops += 1
-                tnode = self.tree[nid]
-                gnode = grid.nodes[nid]
-                if gnode.alive and satisfies(gnode.capability, req):
-                    candidates.append(nid)
+                tnode = tree[nid]
+                gnode = nodes[nid]
+                if gnode.alive:
+                    for c, r in zip(gnode.capability, req):
+                        if c < r:
+                            break
+                    else:
+                        found(nid)
                 for child_id in tnode.children:
                     if len(candidates) >= k and candidates:
                         break
-                    if satisfies(self.tree[child_id].subtree_max, req):
-                        stack.append((child_id, True))
+                    for c, r in zip(tree[child_id].subtree_max, req):
+                        if c < r:
+                            break
+                    else:
+                        push((child_id, True))
 
         # Phase 1: the subtree rooted at the search start (we are already
         # there, so visiting the root itself is free).
@@ -353,6 +379,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
     # ------------------------------------------------------------------
 
     def on_crash(self, node) -> None:
+        self._walk_choices.clear()
         self.chord.crash_repair(node.node_id)
         if self.chord.size <= 2:
             self._rebuild_tree()
@@ -360,6 +387,7 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
         self._tree_remove(node.node_id)
 
     def on_join(self, node) -> None:
+        self._walk_choices.clear()
         if node.node_id in self.chord.nodes:
             self.chord.recover(node.node_id)
         else:  # pragma: no cover - populations are fixed in current drivers

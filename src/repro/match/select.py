@@ -233,9 +233,9 @@ def make_policy(name: str, probe_fanout: int = 2) -> SelectionPolicy:
 
 
 def oracle_probe(grid: "DesktopGrid", node_ids: Iterable[int]) -> dict[int, int]:
-    """Oracle-mode "probing": read queue lengths directly, in zero time."""
-    nodes = grid.nodes
-    return {nid: nodes[nid].queue_len for nid in node_ids}
+    """Oracle-mode "probing": read queue lengths from the grid's columnar
+    registry (same values as the per-node ``queue_len``), in zero time."""
+    return grid.registry.loads(node_ids)
 
 
 def oracle_select(grid: "DesktopGrid", cset: CandidateSet,

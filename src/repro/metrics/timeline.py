@@ -48,13 +48,15 @@ class LoadTimeline:
         self._task.stop()
 
     def _sample(self) -> None:
-        live = self.grid.live_nodes()
-        if not live:
+        # Columnar read: one masked numpy expression instead of an O(N)
+        # per-node attribute scan (identical values — the registry mirrors
+        # queue_len at every change).
+        queues = self.grid.registry.live_queue_lens().astype(float)
+        if queues.size == 0:
             return
-        queues = np.array([n.queue_len for n in live], dtype=float)
         self.samples.append(LoadSample(
             time=self.grid.sim.now,
-            live_nodes=len(live),
+            live_nodes=int(queues.size),
             mean_queue=float(queues.mean()),
             std_queue=float(queues.std()),
             max_queue=int(queues.max()),
@@ -109,7 +111,7 @@ def utilization_report(grid: "DesktopGrid", horizon: float | None = None
     horizon = horizon if horizon is not None else grid.sim.now
     if horizon <= 0:
         raise ValueError("horizon must be positive")
-    busy = np.array([n.busy_time for n in grid.node_list], dtype=float)
+    busy = grid.registry.busy_times()
     util = busy / horizon
     return {
         "mean_utilization": float(util.mean()),

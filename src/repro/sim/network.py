@@ -100,18 +100,34 @@ class LatencyModel:
 
     def sampler_for(self, rng: np.random.Generator) -> Callable[[], float]:
         """A zero-arg bound sampler over ``rng`` (the hot-path form)."""
+        return self.samplers_for(rng)[0]
+
+    def samplers_for(self, rng: np.random.Generator
+                     ) -> tuple[Callable[[], float], Callable[[int], float]]:
+        """``(draw, draw_sum)`` over one shared block buffer.
+
+        ``draw()`` samples one hop; ``draw_sum(hops)`` sums ``hops``
+        consecutive samples (floored per hop) in draw order —
+        bit-identical to ``hops`` sequential ``draw()`` calls, minus the
+        per-hop Python call overhead.  Both must stay the generator's
+        only consumers, which holds because they share one sampler.
+        """
         if self.jitter == 0.0:
             floor = self._floor
-            return lambda: floor
-        sample = ChunkedLognormal(rng, self._mu, self.jitter,
-                                  self.chunk).sample
+            return (lambda: floor), (lambda hops: hops * floor)
+        sampler = ChunkedLognormal(rng, self._mu, self.jitter, self.chunk)
+        sample = sampler.sample
+        sum_clipped = sampler.sum_clipped
         minimum = self.minimum
 
         def draw() -> float:
             v = sample()
             return v if v > minimum else minimum
 
-        return draw
+        def draw_sum(hops: int) -> float:
+            return sum_clipped(hops, minimum)
+
+        return draw, draw_sum
 
     def sample(self, rng: np.random.Generator) -> float:
         if self.jitter == 0.0:
@@ -159,9 +175,11 @@ class Network:
         #: per-kind message counters plus (filtered-in) per-message events.
         self.telemetry = telemetry if telemetry is not None \
             and telemetry.enabled else None
-        #: Bound block sampler over the latency model + this rng — the
-        #: only reader of the stream, so block draws stay bit-identical.
-        self._draw_latency = self.latency.sampler_for(rng)
+        #: Bound block samplers over the latency model + this rng — the
+        #: only readers of the stream (they share one block buffer), so
+        #: block draws stay bit-identical.
+        self._draw_latency, self._draw_latency_sum = \
+            self.latency.samplers_for(rng)
         # Telemetry fast path: resolve counter objects and the bus filter
         # once instead of per message (f-string + registry probe per send
         # showed up in profiles).  ``_sent_counters`` fills lazily per kind.
@@ -201,11 +219,7 @@ class Network:
     def hop_latency_sum(self, hops: int) -> float:
         """Sum of ``hops`` independent hop latencies, summed in draw order
         (bit-identical to ``sum(hop_latency() for _ in range(hops))``)."""
-        draw = self._draw_latency
-        total = 0.0
-        for _ in range(hops):
-            total += draw()
-        return total
+        return self._draw_latency_sum(hops)
 
     def send(self, kind: str, src: int, dst: int, payload: Any = None,
              on_delivered: Callable[[Message], None] | None = None,
@@ -240,7 +254,11 @@ class Network:
                 else:
                     tel.bus.record(sim.now, "net.msg", kind=kind,
                                    src=src, dst=dst, trace=trace[0])
-        sim.schedule(self._draw_latency(), self._deliver, msg, on_delivered)
+        # post(): deliveries are never cancelled, so the kernel's
+        # handle-free fast path applies (no EventHandle allocation, no
+        # post-fire slot clearing) — this is the hottest schedule site in
+        # every message-driven run.
+        sim.post(self._draw_latency(), self._deliver, msg, on_delivered)
         return msg
 
     def _deliver(self, msg: Message,

@@ -5,6 +5,13 @@ exchange are all periodic soft-state protocols; :class:`PeriodicTask` gives
 them a common cancellable implementation with optional phase jitter (so a
 thousand nodes' timers don't fire in lockstep, which would both be
 unrealistic and create pathological event bursts).
+
+Each firing reschedules through :meth:`Simulator.schedule_timer`, so the
+pending timer waits on the kernel's hierarchical timer wheel rather than
+the event heap: stopping a task (churn, crash) is O(1) and leaves no heap
+tombstone, and 10k nodes' worth of heartbeat timers cost the heap nothing
+between firings.  Firing order is identical either way — wheel timers
+carry the same global sequence numbers as heap events.
 """
 
 from __future__ import annotations
@@ -69,7 +76,7 @@ class PeriodicTask:
         first = self.interval
         if self.stagger and self.rng is not None:
             first = float(self.rng.uniform(0, self.interval))
-        self._handle = self.sim.schedule(first, self._fire_ref)
+        self._handle = self.sim.schedule_timer(first, self._fire_ref)
 
     def stop(self) -> None:
         self.stopped = True
@@ -96,4 +103,4 @@ class PeriodicTask:
                 delay = float(self.rng.uniform(self._lo, self._hi))
             else:
                 delay = self.interval
-            self._handle = self.sim.schedule(delay, self._fire_ref)
+            self._handle = self.sim.schedule_timer(delay, self._fire_ref)

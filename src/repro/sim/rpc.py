@@ -122,7 +122,12 @@ class RpcLayer:
                         method=method, src=src, dst=dst)
                 on_timeout()
 
-        handle = self.sim.schedule(timeout or self.default_timeout, fire_timeout)
+        # Timeouts ride the timer wheel: the overwhelmingly common outcome
+        # is a reply cancelling the timeout, which on the wheel is O(1)
+        # with no heap tombstone (rpc-heavy runs used to spend compaction
+        # passes clearing these).
+        handle = self.sim.schedule_timer(timeout or self.default_timeout,
+                                         fire_timeout)
         self._pending[req_id] = (on_reply, handle)
         self.network.send("rpc-req", src, dst, (req_id, method, payload),
                           trace=trace)

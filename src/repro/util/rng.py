@@ -95,6 +95,32 @@ class ChunkedLognormal:
         self._i = i + 1
         return self._buf[i]
 
+    def sum_clipped(self, n: int, minimum: float) -> float:
+        """Sum of the next ``n`` variates, each floored at ``minimum``.
+
+        Bit-identical to ``n`` sequential :meth:`sample` calls floored and
+        added left-to-right (same block buffer, same float-addition
+        order) — it just skips ``n - 1`` Python call frames.  Multi-hop
+        route latency is the hot caller.
+        """
+        total = 0.0
+        i = self._i
+        buf = self._buf
+        while n > 0:
+            if i == len(buf):
+                buf = self._buf = self.rng.lognormal(self.mu, self.sigma,
+                                                     self.chunk).tolist()
+                i = 0
+            stop = i + n
+            if stop > len(buf):
+                stop = len(buf)
+            for v in buf[i:stop]:
+                total += v if v > minimum else minimum
+            n -= stop - i
+            i = stop
+        self._i = i
+        return total
+
 
 class RngStreams:
     """A family of independent ``numpy.random.Generator`` streams.

@@ -94,3 +94,74 @@ class TestPreOptimizationGoldens:
         out = run_workload(wl, "centralized", seed=3, grid_cfg=cfg)
         assert fingerprint(out) == (
             "1efe1eca8cc4cd5d77345698be1cb822a3d08ca307a8084d6fab6f7fc737aa8c")
+
+
+class TestTimerWheelEquivalence:
+    """The wheel is a data-structure swap, not a semantics change: wheel
+    timers carry the same global sequence numbers as heap events, so the
+    (time, seq) firing order — and with it every RNG draw — is identical
+    with ``timer_wheel=False``."""
+
+    def test_wheel_disabled_matches_committed_golden(self):
+        """The heap-only path must still reproduce the pre-optimization
+        golden — the strongest statement that the wheel changed nothing."""
+        wl = _workload()
+        cfg = GridConfig(seed=7, spec=wl.spec, timer_wheel=False,
+                         heartbeats_enabled=True, probe_mode="rpc",
+                         dispatch_ack=True, client_resubmit_enabled=True)
+        out = run_workload(wl, "rn-tree", seed=7, grid_cfg=cfg)
+        assert fingerprint(out) == (
+            "c7ac01ec22f55bac59abd0e3e94585a51dda72c73f05831fcd40417993aaae82")
+
+    def test_heartbeat_aggregation_golden_n150(self):
+        """Batched per-node heartbeat sweeps under churn at N=150: the
+        traced wheel run and the plain-heap run must agree bit-for-bit on
+        every job's fate — including which jobs FAILED — and on the full
+        metrics summary.  This is the lazy-aggregation golden: per-job
+        ``last_heartbeat`` semantics survive the batch sweep exactly."""
+        from repro.experiments.runner import build_population, drive
+        from repro.grid.job import JobState
+        from repro.grid.system import DesktopGrid
+        from repro.match import make_matchmaker
+        from repro.sim.failure import CrashRecoveryProcess
+        from repro.telemetry import Telemetry
+        from repro.workloads.spec import WorkloadConfig
+
+        # Heavily constrained mixed workload + deep churn: some matches
+        # exhaust their retries while the rare satisfying nodes are down,
+        # so the run produces genuine FAILED jobs alongside COMPLETED.
+        wl = WorkloadConfig(n_nodes=150, n_jobs=250, mean_interarrival=1.0,
+                            mean_work=120.0, node_mode="mixed",
+                            job_mode="mixed", constraint_prob=0.95)
+
+        def states(use_wheel: bool) -> tuple[str, list[tuple[str, str]]]:
+            nodes, stream = build_population(wl, seed=11)
+            cfg = GridConfig(seed=11, spec=wl.spec, timer_wheel=use_wheel,
+                             heartbeats_enabled=True,
+                             client_resubmit_enabled=True,
+                             client_max_attempts=2, match_retries=1,
+                             match_retry_backoff=5.0)
+            tel = Telemetry(sample_interval=25.0)
+            grid = DesktopGrid(cfg, make_matchmaker("rn-tree"), nodes,
+                               telemetry=tel)
+            CrashRecoveryProcess(grid.sim, grid.streams["churn"],
+                                 [n.node_id for n in grid.node_list],
+                                 crash_fn=grid.crash_node,
+                                 recover_fn=grid.recover_node,
+                                 mean_uptime=100.0, mean_downtime=150.0)
+            drive(grid, wl, stream, max_time=5000.0)
+            fates = sorted((j.guid, j.state.name)
+                           for j in grid.jobs.values())
+            summary = repr(sorted(grid.metrics.summary().items()))
+            assert len(tel.bus) > 0
+            return summary, fates
+
+        wheel_summary, wheel_fates = states(True)
+        heap_summary, heap_fates = states(False)
+        assert wheel_fates == heap_fates
+        assert wheel_summary == heap_summary
+        # The run must actually exercise both terminal paths, or the
+        # equivalence claim is vacuous.
+        outcomes = {state for _, state in wheel_fates}
+        assert JobState.COMPLETED.name in outcomes
+        assert JobState.FAILED.name in outcomes

@@ -150,6 +150,21 @@ class TestDHTScaling:
         assert all(checks.values()), checks
         assert "chord" in result.report()
 
+    def test_budget_guard_records_not_fails(self):
+        # An impossible budget flags every cell OVER — but the run still
+        # returns full data (recording, not failing, is the contract).
+        result = run_dht_scaling(sizes=(32, 64), lookups=20,
+                                 cell_budget_s=1e-9)
+        assert result.over_budget == [True, True]
+        assert all(w > 0 for w in result.wall_s)
+        assert len(result.mean_hops["chord"]) == 2
+        assert "OVER" in result.report()
+
+    def test_within_budget_reports_ok(self):
+        result = run_dht_scaling(sizes=(32,), lookups=20)
+        assert result.over_budget == [False]
+        assert "OVER" not in result.report()
+
 
 class TestAblations:
     def test_virtual_dimension(self):

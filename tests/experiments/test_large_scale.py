@@ -1,0 +1,50 @@
+"""Large-scale experiment: cells run, budgets record instead of failing."""
+
+from repro.experiments.large_scale import (
+    LargeScaleCell,
+    run_churn_cell,
+    run_large_scale,
+    run_workload_cell,
+)
+
+
+class TestWorkloadCell:
+    def test_small_cell_completes(self):
+        cell = run_workload_cell(60, seed=3)
+        assert cell.name == "workload"
+        assert cell.n == 60
+        assert cell.wall_s > 0
+        assert cell.metrics["jobs"] == 120.0
+        assert cell.metrics["finished"] == 1.0
+        assert cell.metrics["events_per_s"] > 0
+
+    def test_over_budget_is_recorded_not_raised(self):
+        cell = run_workload_cell(60, seed=3, budget_s=1e-9)
+        assert cell.over_budget
+
+
+class TestChurnCell:
+    def test_small_ring_survives_churn(self):
+        cell = run_churn_cell(400, steps=10, lookups=40, seed=3)
+        assert cell.name == "dht-churn"
+        assert cell.metrics["churn_steps"] == 10.0
+        # Lookups keep resolving through crash/rejoin cycles.
+        assert cell.metrics["lookups"] == 40.0
+        assert cell.metrics["mean_hops"] > 0
+        assert not cell.over_budget
+
+
+class TestSuite:
+    def test_report_flags_over_budget(self):
+        result = run_large_scale(workload_sizes=(50,), churn_n=300,
+                                 churn_steps=5, seed=3, budget_s=1e-9)
+        assert [c.name for c in result.cells] == ["workload", "dht-churn"]
+        assert result.any_over_budget
+        assert "OVER" in result.report()
+
+    def test_report_ok_within_budget(self):
+        result = run_large_scale(workload_sizes=(50,), churn_n=300,
+                                 churn_steps=5, seed=3)
+        assert not result.any_over_budget
+        assert "OVER" not in result.report()
+        assert all(isinstance(c, LargeScaleCell) for c in result.cells)

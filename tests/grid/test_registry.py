@@ -1,0 +1,87 @@
+"""Columnar NodeRegistry: mirrors must track per-node state exactly."""
+
+import numpy as np
+
+from repro.experiments.runner import build_population, drive
+from repro.grid.system import DesktopGrid, GridConfig
+from repro.match import make_matchmaker
+from repro.sim.failure import CrashRecoveryProcess
+from repro.workloads.spec import WorkloadConfig
+
+from tests.conftest import make_small_grid
+
+
+class TestRegistryBasics:
+    def test_initial_state(self):
+        grid = make_small_grid(n_nodes=8)
+        reg = grid.registry
+        assert len(reg) == 8
+        assert reg.live_count() == 8
+        assert reg.live_queue_lens().sum() == 0
+        assert reg.execution_counts() == [0] * 8
+        assert reg.check_consistency() == []
+
+    def test_index_maps_node_list_order(self):
+        grid = make_small_grid(n_nodes=8)
+        for i, node in enumerate(grid.node_list):
+            assert grid.registry.index[node.node_id] == i
+            assert node._reg_idx == i
+
+    def test_liveness_flips_are_mirrored(self):
+        grid = make_small_grid(n_nodes=8)
+        reg = grid.registry
+        node = grid.node_list[3]
+        grid.crash_node(node.node_id)
+        assert not reg.alive[3]
+        assert reg.live_count() == 7
+        grid.recover_node(node.node_id)
+        assert reg.alive[3]
+        other = grid.node_list[5]
+        grid.partition_node(other.node_id)
+        assert not reg.alive[5]
+        grid.heal_node(other.node_id)
+        assert reg.alive[5]
+        assert reg.check_consistency() == []
+
+    def test_loads_reads_queue_column(self):
+        grid = make_small_grid(n_nodes=8)
+        node = grid.node_list[2]
+        loads = grid.registry.loads([node.node_id])
+        assert loads == {node.node_id: 0}
+
+
+class TestRegistryUnderLoad:
+    def test_consistent_after_failure_free_run(self):
+        wl = WorkloadConfig(n_nodes=40, n_jobs=120, mean_interarrival=0.5)
+        nodes, stream = build_population(wl, seed=5)
+        grid = DesktopGrid(GridConfig(seed=5, spec=wl.spec),
+                           make_matchmaker("rn-tree"), nodes)
+        drive(grid, wl, stream)
+        reg = grid.registry
+        assert reg.check_consistency() == []
+        # The columns agree with a from-scratch object scan.
+        assert reg.execution_counts() == \
+            [n.jobs_executed for n in grid.node_list]
+        assert float(reg.busy_times().sum()) > 0
+        assert np.array_equal(
+            reg.live_queue_lens(),
+            np.array([n.queue_len for n in grid.node_list if n.alive]))
+
+    def test_consistent_after_churny_run(self):
+        """The drift tripwire: every liveness/queue mutation path (crash,
+        recover, heartbeat failure recovery, sandbox rejection, dispatch)
+        must have updated its mirror by the end of a churny run."""
+        wl = WorkloadConfig(n_nodes=40, n_jobs=120, mean_interarrival=0.5,
+                            mean_work=60.0)
+        nodes, stream = build_population(wl, seed=9)
+        cfg = GridConfig(seed=9, spec=wl.spec, heartbeats_enabled=True,
+                         client_resubmit_enabled=True)
+        grid = DesktopGrid(cfg, make_matchmaker("rn-tree"), nodes)
+        churn = CrashRecoveryProcess(
+            grid.sim, grid.streams["churn"],
+            [n.node_id for n in grid.node_list],
+            crash_fn=grid.crash_node, recover_fn=grid.recover_node,
+            mean_uptime=120.0, mean_downtime=40.0)
+        drive(grid, wl, stream, max_time=3000.0)
+        assert churn.crashes > 0
+        assert grid.registry.check_consistency() == []

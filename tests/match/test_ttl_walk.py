@@ -65,6 +65,7 @@ class TestWalk:
         busy = grid.node_list[0]
         for i in range(5):
             busy.queue.append(job_with((0.0, 0.0, 0.0), name=f"b-{i}"))
+        grid.on_queue_change(busy)  # sync load watchers (registry column)
         job = job_with((0.0, 0.0, 0.0), name="probe")
         result = grid.matchmaker.find_run_node(busy, job)
         assert result.node is not busy

@@ -164,6 +164,26 @@ class TestHeapHygiene:
         sim.run()
         assert log == [i for i in range(n) if i not in cancelled]
 
+    def test_cancel_after_compaction_counts_once(self, sim):
+        """Cancelling a handle the compactor already evicted must not
+        double-count telemetry: ``events_cancelled`` and the tombstone
+        ledger see each event's live->cancelled transition exactly once."""
+        from repro.sim.kernel import COMPACT_MIN_TOMBSTONES
+
+        n = COMPACT_MIN_TOMBSTONES * 3
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(n)]
+        victims = handles[n // 3:]
+        for h in victims:
+            h.cancel()
+        assert sim.compactions >= 1
+        assert sim.events_cancelled == len(victims)
+        for h in victims:  # compacted away — cancel again is a no-op
+            h.cancel()
+        assert sim.events_cancelled == len(victims)
+        live = n - len(victims)
+        assert sim.live_pending == live
+        assert sim._tombstones == len(sim._heap) - live
+
     def test_few_tombstones_do_not_compact(self, sim):
         handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
         for h in handles[:6]:

@@ -78,6 +78,8 @@ SCALE_FREE_CELLS: dict[str, str] = {
     "rntree.churn_maintenance": "ops_per_s",
     "grid.large_scale": "events_per_s",
     "dht.churn": "ops_per_s",
+    "scenario.flash_crowd": "events_per_s",
+    "grid.correlated_failure": "events_per_s",
 }
 
 #: Metrics that report resource footprint, not speed.  Lower is better,
@@ -327,6 +329,55 @@ def bench_dht_churn(n_nodes: int = 100_000, steps: int = 50,
             "n_nodes": float(n_nodes),
             "mem_peak_mb": peak / 2**20,
             "bytes_per_node": peak / n_nodes}
+
+
+def _bench_scenario(scenario_name: str, n_nodes: int, n_jobs: int,
+                    seed: int) -> dict[str, float]:
+    """Shared body of the scenario cells: build, shape, arm faults, run."""
+    from repro.experiments.runner import build_population, drive
+    from repro.grid.system import DesktopGrid, GridConfig
+    from repro.match import make_matchmaker
+    from repro.scenarios import get_scenario
+    from repro.workloads.spec import WorkloadConfig
+
+    scenario = get_scenario(scenario_name)
+    mean_work = 60.0
+    wl = WorkloadConfig(n_nodes=n_nodes, n_jobs=n_jobs, node_mode="mixed",
+                        job_mode="mixed", constraint_prob=0.4,
+                        mean_work=mean_work,
+                        mean_interarrival=mean_work / (0.5 * n_nodes))
+    nodes, stream = build_population(wl, seed)
+    stream = scenario.shaped_stream(stream, seed)
+    # Full message-level protocol, as in grid.steady_state — the point is
+    # what the hot paths cost under the adversarial regime.
+    overrides = {"heartbeats_enabled": True, "probe_mode": "rpc",
+                 "dispatch_ack": True}
+    overrides.update(scenario.grid_overrides)
+    cfg = GridConfig(seed=seed, spec=wl.spec, **overrides)
+    grid = DesktopGrid(cfg, make_matchmaker("rn-tree"), nodes)
+    scenario.install_faults(grid)
+    t0 = perf_counter()
+    drive(grid, wl, stream, max_time=60_000.0)
+    wall = perf_counter() - t0
+    events = grid.sim.events_processed
+    return {"wall_s": wall, "sim_events": float(events),
+            "events_per_s": events / wall, "n_nodes": float(n_nodes)}
+
+
+def bench_scenario_flash_crowd(n_nodes: int = 96, n_jobs: int = 480,
+                               seed: int = 1) -> dict[str, float]:
+    """Events/sec through a flash-crowd cell: 25x arrival bursts pile the
+    matchmaking and queueing hot paths into narrow windows — the bursty
+    regime the steady-state cell never stresses.  Fixed size."""
+    return _bench_scenario("flash_crowd", n_nodes, n_jobs, seed)
+
+
+def bench_grid_correlated_failure(n_nodes: int = 96, n_jobs: int = 480,
+                                  seed: int = 1) -> dict[str, float]:
+    """Events/sec under correlated rack failures with the full §2
+    recovery protocol on: mass crash/recover transitions, monitor-sweep
+    probing, and client resubmission all on the clock.  Fixed size."""
+    return _bench_scenario("correlated_failure", n_nodes, n_jobs, seed)
 
 
 # ----------------------------------------------------------------------

@@ -21,12 +21,14 @@ from conftest import BENCH_SCALE, BENCH_SEEDS
 from perf import (
     bench_dht_churn,
     bench_figure2,
+    bench_grid_correlated_failure,
     bench_grid_steady_state,
     bench_kernel_events,
     bench_large_scale_grid,
     bench_latency_sampling,
     bench_message_throughput,
     bench_rntree_maintenance,
+    bench_scenario_flash_crowd,
     load_baseline,
     perf_document,
     save_perf,
@@ -52,6 +54,8 @@ def test_perf_trajectory(benchmark):
         entries["rntree.churn_maintenance"] = bench_rntree_maintenance()
         entries["grid.large_scale"] = bench_large_scale_grid()
         entries["dht.churn"] = bench_dht_churn()
+        entries["scenario.flash_crowd"] = bench_scenario_flash_crowd()
+        entries["grid.correlated_failure"] = bench_grid_correlated_failure()
         return entries
 
     benchmark.pedantic(measure, rounds=1, iterations=1)

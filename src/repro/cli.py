@@ -33,6 +33,7 @@ from repro.experiments import (
     run_protocol_experiment,
     run_pushing_experiment,
     run_scaling_experiment,
+    run_scenarios_experiment,
     run_ttl_ablation,
     run_virtual_dimension_ablation,
 )
@@ -97,6 +98,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "scaling": ("grid scalability: wait/cost vs N at constant load",
                 lambda scale, seeds, jobs=None: run_scaling_experiment(
                     seed=seeds[0], jobs=jobs)),
+    "scenarios": ("adversarial scenario packs x mitigation knobs",
+                  lambda scale, seeds, jobs=None: run_scenarios_experiment(
+                      seeds=seeds, jobs=jobs)),
     "tuning-heartbeat": ("heartbeat cadence: traffic vs detection latency",
                          lambda scale, seeds, jobs=None: run_heartbeat_sweep(
                              seed=seeds[0])),

@@ -21,6 +21,11 @@ from repro.experiments.large_scale import LargeScaleResult, run_large_scale
 from repro.experiments.matchpipe import run_matchpipe_ablation
 from repro.experiments.protocol import run_protocol_experiment
 from repro.experiments.scaling import run_scaling_experiment
+from repro.experiments.scenarios import (
+    ScenariosConfig,
+    ScenariosResult,
+    run_scenarios_experiment,
+)
 from repro.experiments.tuning import (
     run_heartbeat_sweep,
     run_latency_sensitivity,
@@ -46,6 +51,9 @@ __all__ = [
     "run_matchpipe_ablation",
     "run_protocol_experiment",
     "run_scaling_experiment",
+    "ScenariosConfig",
+    "ScenariosResult",
+    "run_scenarios_experiment",
     "run_heartbeat_sweep",
     "run_latency_sensitivity",
     "run_walk_length_sweep",

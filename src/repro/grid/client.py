@@ -39,6 +39,8 @@ class Client:
         self.completed: list[Job] = []
         self.resubmissions = 0
         self.duplicate_results = 0
+        #: Submissions refused by admission control (quota knob).
+        self.rejected = 0
         self._watch_task: PeriodicTask | None = None
         #: Observers invoked with each finished Job (used by the DAG
         #: scheduler to release dependent jobs).
@@ -49,6 +51,26 @@ class Client:
     def submit(self, job: Job) -> None:
         """Inject ``job`` now (schedule via ``DesktopGrid.submit_at`` for
         future submission times)."""
+        cfg = self.grid.cfg
+        if cfg.admission and len(self.pending) >= cfg.admission_quota:
+            # Admission control: fail fast at the edge — no owner
+            # routing, no matchmaking traffic, no retry churn — so
+            # quota pressure sheds load instead of amplifying it.  The
+            # rejection is terminal and locally decided: no messages, no
+            # RNG draws (defaults-off bit-identity depends on this).
+            if job.state is JobState.CREATED:
+                job.submit_time = self.grid.sim.now
+            job.attempt += 1
+            job.state = JobState.FAILED
+            job.failure_reason = "admission: client quota exceeded"
+            self.rejected += 1
+            self.grid.trace.record(self.grid.sim.now, "reject",
+                                   job=job.name, pending=len(self.pending))
+            tel = self.grid.telemetry
+            if tel.enabled:
+                tel.metrics.counter("jobs.rejected").inc()
+            self.grid.metrics.on_job_done(job)
+            return
         job.attempt += 1
         if job.state is JobState.CREATED:
             job.submit_time = self.grid.sim.now
@@ -114,6 +136,11 @@ class Client:
                                wait=job.wait_time)
         tel = self.grid.telemetry
         if tel.enabled:
+            # A resubmission race can deliver attempt N's result while
+            # attempt N+1 is mid-flight with fresh phase spans open
+            # (e.g. a just-begun tel_insert); sweep them so no span —
+            # and no dht.lookup child of one — is left orphaned.
+            tel.close_job_spans(job, job.state.value)
             tel.bus.end_span(job.extra.pop("tel_job", None),
                              self.grid.sim.now, state=job.state.value,
                              wait=job.wait_time, attempts=job.attempt)

@@ -125,5 +125,13 @@ class Job:
     def is_done(self) -> bool:
         return self.state in (JobState.COMPLETED, JobState.FAILED)
 
+    @property
+    def is_terminal(self) -> bool:
+        """Done *or* abandoned by the client (LOST).  LOST is terminal
+        for the protocol — no node may revive an abandoned job, or the
+        overwritten state un-settles the drain check — but it is not
+        ``is_done``: the client counts it separately."""
+        return self.is_done or self.state is JobState.LOST
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Job({self.name!r}, {self.state.value}, attempt={self.attempt})"

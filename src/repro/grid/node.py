@@ -45,7 +45,8 @@ class JobRecord:
     timer cost scales with nodes, not with jobs.
     """
 
-    __slots__ = ("job", "run_node_id", "last_heartbeat", "probing")
+    __slots__ = ("job", "run_node_id", "last_heartbeat", "probing",
+                 "speculated")
 
     def __init__(self, job: Job, run_node_id: int | None, now: float):
         self.job = job
@@ -53,6 +54,9 @@ class JobRecord:
         self.last_heartbeat = now
         #: A liveness rpc to the run node is in flight (monitor sweep).
         self.probing = False
+        #: A speculative clone was already launched for this job (the
+        #: straggler knob fires at most once per owned record).
+        self.speculated = False
 
 
 #: Backward-compatible alias (pre-refactor name).
@@ -150,7 +154,14 @@ class GridNode:
         load reads (``probe_mode="oracle"``) or asynchronously over real
         rpc probes with timeouts (``probe_mode="rpc"``).
         """
-        if job.is_done or not self._alive:
+        if job.is_terminal or not self._alive:
+            return
+        if job.owner_id != self.node_id:
+            # Stale owner: a healed node replaying a pre-partition retry
+            # chain for a job some other node now owns (the run node
+            # recruited a replacement while we were dark).  Acting here
+            # would double-manage the job; drop our record instead.
+            self.owned.pop(job.guid, None)
             return
         grid = self.grid
         tel = grid.telemetry
@@ -328,6 +339,22 @@ class GridNode:
             if tel.flight is not None:
                 tel.flight.note(self.node_id, self.grid.sim.now, "dispatch",
                                 job=job.guid, info=target)
+        if self.grid.cfg.replicate and len(ranking) > 1 \
+                and len(self.owned) >= self.grid.cfg.replicate_threshold \
+                and "replica_nodes" not in job.extra:
+            # Hot-owner replication: ship a second copy to the runner-up
+            # candidate.  Plain (unacked) send even in dispatch_ack mode —
+            # the replica is best-effort; the acked primary path is the
+            # one recovery reasons about.
+            replica = ranking[1]
+            job.extra["replica_nodes"] = (replica,)
+            self.grid.trace.record(self.grid.sim.now, "replicate",
+                                   job=job.name)
+            self.grid.metrics.on_recovery("replica", job)
+            if tel.enabled:
+                tel.metrics.counter("jobs.replicated").inc()
+            self.grid.network.send("assign", self.node_id, replica, job,
+                                   trace=trace)
         if not self.grid.cfg.dispatch_ack:
             self.grid.network.send("assign", self.node_id, target, job,
                                    trace=trace)
@@ -397,6 +424,15 @@ class GridNode:
             self._match_and_dispatch(job, retries_left=grid.cfg.match_retries)
 
     def _owner_fail_job(self, job: Job, reason: str) -> None:
+        if job.is_terminal or job.owner_id != self.node_id:
+            # Guard the terminal transition: a stale owner (healed after
+            # a partition, its monitor state intact) must not FAIL a job
+            # its replacement owner is still managing — and nothing may
+            # ever fail a job that already reached a terminal state, or
+            # the metrics double-count it (once COMPLETED at the client,
+            # once FAILED here).
+            self.owned.pop(job.guid, None)
+            return
         job.state = JobState.FAILED
         job.failure_reason = reason
         self.owned.pop(job.guid, None)
@@ -432,7 +468,7 @@ class GridNode:
     def _on_adopt(self, msg: Message) -> None:
         """A run node detected our predecessor's death and recruited us."""
         job = msg.payload
-        if job.is_done:
+        if job.is_terminal:
             return
         job.owner_id = self.node_id
         self.owned[job.guid] = JobRecord(job, job.run_node_id, self.grid.sim.now)
@@ -460,9 +496,14 @@ class GridNode:
         # body only posts messages, so the dict cannot grow mid-loop;
         # records of finished jobs are collected and popped afterwards.
         done: list[int] | None = None
+        speculate: list[JobRecord] | None = None
         for rec in self.owned.values():
             job = rec.job
-            if job.is_done:
+            if job.is_terminal or job.owner_id != self.node_id:
+                # Finished/abandoned — or ours no longer (ownership moved
+                # while we were partitioned); either way the record is
+                # dead weight and acting on it would double-manage (or
+                # revive) the job.
                 if done is None:
                     done = [job.guid]
                 else:
@@ -470,6 +511,17 @@ class GridNode:
                 continue
             if rec.run_node_id is None:
                 continue  # matchmaking still in flight
+            if cfg.speculative and not rec.speculated \
+                    and now - job.match_time \
+                    > cfg.speculative_threshold * job.profile.work:
+                # Straggler: out for several multiples of its nominal
+                # work with no result.  Launch a clone (deferred past the
+                # sweep: re-matching mutates self.owned).
+                if speculate is None:
+                    speculate = [rec]
+                else:
+                    speculate.append(rec)
+                continue
             if now - rec.last_heartbeat > timeout and not rec.probing:
                 rec.probing = True
                 tel = self.grid.telemetry
@@ -485,11 +537,37 @@ class GridNode:
             pop = self.owned.pop
             for guid in done:
                 pop(guid, None)
+        if speculate is not None:
+            for rec in speculate:
+                self._speculate(rec)
+
+    def _speculate(self, rec: JobRecord) -> None:
+        """Clone a straggler back into matchmaking (speculative knob).
+
+        The original copy keeps running wherever it is; the first copy to
+        deliver a result wins at the client, and the loser's terminal
+        messages are suppressed (see ``_finish_running``).
+        """
+        job = rec.job
+        now = self.grid.sim.now
+        rec.speculated = True
+        job.state = JobState.MATCHING
+        self.grid.trace.record(now, "recovery", kind="speculative",
+                               job=job.name)
+        self.grid.metrics.on_recovery("speculative", job,
+                                      latency=now - job.match_time)
+        tel = self.grid.telemetry
+        if tel.enabled:
+            tel.metrics.counter("jobs.speculated").inc()
+            if tel.flight is not None:
+                tel.flight.note(self.node_id, now, "speculate", job=job.guid)
+        self._match_and_dispatch(job, retries_left=self.grid.cfg.match_retries)
 
     def _liveness_settled(self, rec: JobRecord) -> bool:
         """True when a liveness-probe outcome is still actionable."""
         rec.probing = False
-        return (self._alive and not rec.job.is_done
+        return (self._alive and not rec.job.is_terminal
+                and rec.job.owner_id == self.node_id
                 and self.owned.get(rec.job.guid) is rec)
 
     def _on_liveness_reply(self, rec: JobRecord, has_job: bool) -> None:
@@ -548,9 +626,14 @@ class GridNode:
     def _on_assign(self, msg: Message) -> None:
         self._accept_assignment(msg.payload)
 
+    def _is_assignee(self, job: Job) -> bool:
+        """Primary run node, or a best-effort replica (replicate knob)."""
+        return job.run_node_id == self.node_id \
+            or self.node_id in job.extra.get("replica_nodes", ())
+
     def _accept_assignment(self, job: Job) -> bool:
         """Enqueue an assigned job; the return value is the dispatch ack."""
-        if job.is_done or job.run_node_id != self.node_id:
+        if job.is_terminal or not self._is_assignee(job):
             return False  # superseded assignment (owner re-matched elsewhere)
         if self._has_job(job):
             return True  # duplicate delivery; already accepted
@@ -619,7 +702,7 @@ class GridNode:
         if self.running is not None or not self.queue:
             return
         job = self._pop_next_job()
-        if job.is_done or job.run_node_id != self.node_id:
+        if job.is_terminal or not self._is_assignee(job):
             self.grid.on_queue_change(self)
             self._maybe_start()
             return
@@ -696,6 +779,20 @@ class GridNode:
             if tel.flight is not None:
                 tel.flight.note(self.node_id, self.grid.sim.now, "run-finish",
                                 job=job.guid, info=failure)
+        cfg = self.grid.cfg
+        if (cfg.speculative or cfg.replicate) and job.is_terminal:
+            # A sibling copy (speculative clone or replica) already drove
+            # the job to a terminal state: this copy's work is sunk cost,
+            # its terminal messages must not fire — a late _fail_job here
+            # would flip a COMPLETED job to FAILED and double-count it.
+            # Gated on the knobs: without them double execution only
+            # happens via client resubmission, whose duplicate results
+            # the client itself already absorbs (and the goldens pin that
+            # exact message stream).
+            self._last_ack.pop(job.guid, None)
+            self.grid.on_queue_change(self)
+            self._maybe_start()
+            return
         if failure is not None:
             self._fail_job(job, failure)
         else:
@@ -733,6 +830,8 @@ class GridNode:
                                job.profile.client_id, job)
 
     def _fail_job(self, job: Job, reason: str) -> None:
+        if job.is_terminal:
+            return  # already terminal; a COMPLETED job must never re-fail
         job.state = JobState.FAILED
         job.failure_reason = reason
         tel = self.grid.telemetry

@@ -121,6 +121,29 @@ class GridConfig:
 
     sandbox: SandboxPolicy = field(default_factory=SandboxPolicy)
 
+    # Mitigation knobs (scenario ablations — see repro.scenarios and
+    # EXPERIMENTS.md § Scenarios).  All three default OFF and, when off,
+    # draw no randomness and send no messages, so default-config runs
+    # stay bit-identical to the committed equivalence goldens.
+    #
+    # Speculative re-execution: the owner's monitor sweep clones a job
+    # back into matchmaking when it has been out for more than
+    # ``speculative_threshold x`` its nominal work without finishing
+    # (straggler defense; first copy to finish wins, the loser's result
+    # is suppressed).
+    speculative: bool = False
+    speculative_threshold: float = 4.0
+    # Replication on hot owners: an owner monitoring at least
+    # ``replicate_threshold`` jobs dispatches each new job to its top two
+    # ranked candidates instead of one.
+    replicate: bool = False
+    replicate_threshold: int = 4
+    # Admission control: a client refuses (fails fast, no network
+    # traffic) new submissions while ``admission_quota`` of its jobs are
+    # still in flight.
+    admission: bool = False
+    admission_quota: int = 64
+
     def __post_init__(self) -> None:
         if self.queue_discipline not in ("fifo", "fair-share"):
             raise ValueError(f"bad queue_discipline {self.queue_discipline!r}")
@@ -140,6 +163,12 @@ class GridConfig:
             raise ValueError("probe_timeout must be positive")
         if self.rng_chunk < 1:
             raise ValueError("rng_chunk must be >= 1")
+        if self.speculative_threshold <= 0:
+            raise ValueError("speculative_threshold must be positive")
+        if self.replicate_threshold < 1:
+            raise ValueError("replicate_threshold must be >= 1")
+        if self.admission_quota < 1:
+            raise ValueError("admission_quota must be >= 1")
 
 
 class DesktopGrid:

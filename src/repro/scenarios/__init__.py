@@ -1,0 +1,43 @@
+"""Adversarial scenario packs: workload shapes + fault plans, by name.
+
+See :mod:`repro.scenarios.catalog` for the registry and
+EXPERIMENTS.md § Scenarios for the user-facing catalog.
+"""
+
+from repro.scenarios.catalog import (
+    RECOVERY_OVERRIDES,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.faults import (
+    DoubleFailureInjector,
+    DoubleFailurePlan,
+    PartitionStormPlan,
+    RackFailurePlan,
+    node_groups,
+)
+from repro.scenarios.shapes import (
+    diurnal,
+    flash_crowd,
+    lognormal_runtimes,
+    pareto_runtimes,
+)
+
+__all__ = [
+    "RECOVERY_OVERRIDES",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
+    "DoubleFailureInjector",
+    "DoubleFailurePlan",
+    "PartitionStormPlan",
+    "RackFailurePlan",
+    "node_groups",
+    "diurnal",
+    "flash_crowd",
+    "lognormal_runtimes",
+    "pareto_runtimes",
+]

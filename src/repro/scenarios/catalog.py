@@ -1,0 +1,152 @@
+"""The named scenario catalog.
+
+A :class:`Scenario` composes a workload *shape* (a transform over the
+generated :class:`~repro.workloads.jobs.ScheduledJob` stream) with a
+*fault plan* (armed on the built grid) and any
+:class:`~repro.grid.system.GridConfig` overrides the scenario needs
+(fault scenarios turn the recovery protocol on — without heartbeats and
+client resubmission a correlated outage just strands jobs forever).
+
+Everything is deterministic per (scenario, seed): shaping draws from a
+dedicated ``"scenario-shape"`` stream of the run's seed, fault plans
+draw from the grid's ``"faults"`` stream, and neither touches the
+workload or protocol streams — so the base population is bit-identical
+across scenarios and seeds replay exactly.
+
+Adding a scenario: write (or reuse) a shape in :mod:`.shapes` and/or a
+plan in :mod:`.faults`, and register a :class:`Scenario` here.  See
+EXPERIMENTS.md § Scenarios.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.scenarios import shapes
+from repro.scenarios.faults import (
+    DoubleFailurePlan,
+    FaultPlan,
+    PartitionStormPlan,
+    RackFailurePlan,
+)
+from repro.util.rng import RngStreams
+from repro.workloads.jobs import ScheduledJob
+
+Shape = Callable[[list[ScheduledJob], np.random.Generator],
+                 list[ScheduledJob]]
+
+#: GridConfig overrides every fault scenario shares: the §2 recovery
+#: protocol must be on, or correlated outages simply strand jobs.
+RECOVERY_OVERRIDES: Mapping[str, Any] = {
+    "heartbeats_enabled": True,
+    "client_resubmit_enabled": True,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named adversarial regime."""
+
+    name: str
+    description: str
+    shape: Shape | None = None
+    fault_plan: FaultPlan | None = None
+    grid_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def shaped_stream(self, stream: list[ScheduledJob],
+                      seed: int) -> list[ScheduledJob]:
+        """Apply the workload shape (identity when the scenario has none).
+
+        The shaping rng is keyed by the run seed but lives on its own
+        stream, so the *unshaped* population stays bit-identical to what
+        every other experiment generates for that seed.
+        """
+        if self.shape is None:
+            return stream
+        return self.shape(stream, RngStreams(seed)["scenario-shape"])
+
+    def install_faults(self, grid) -> object | None:
+        """Arm the fault plan on a built grid (no-op when fault-free)."""
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.install(grid)
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(s: Scenario) -> Scenario:
+    if s.name in SCENARIOS:
+        raise ValueError(f"duplicate scenario {s.name!r}")
+    SCENARIOS[s.name] = s
+    return s
+
+
+_register(Scenario(
+    "baseline",
+    "Poisson arrivals, exponential runtimes, failure-free — the paper's "
+    "benign regime, kept as the control cell."))
+
+_register(Scenario(
+    "flash_crowd",
+    "Arrival gaps compressed 25x inside three burst windows (same total "
+    "work, delivered in spikes).",
+    shape=functools.partial(shapes.flash_crowd, burst_factor=25.0,
+                            n_bursts=3, burst_frac=0.12)))
+
+_register(Scenario(
+    "diurnal",
+    "Sinusoidal day/night arrival-rate cycle: ~2x peaks, near-silent "
+    "troughs.",
+    shape=functools.partial(shapes.diurnal, period=600.0, amplitude=0.8)))
+
+_register(Scenario(
+    "heavy_tail_pareto",
+    "Runtimes redrawn from a mean-matched Pareto (alpha=1.6): rare "
+    "stragglers dominate the wait tail.",
+    shape=functools.partial(shapes.pareto_runtimes, alpha=1.6)))
+
+_register(Scenario(
+    "heavy_tail_lognormal",
+    "Runtimes redrawn from a mean-matched lognormal (sigma=1.8): heavy "
+    "but finite-variance tail.",
+    shape=functools.partial(shapes.lognormal_runtimes, sigma=1.8)))
+
+_register(Scenario(
+    "correlated_failure",
+    "Whole racks lose power together (crash: state lost) and recover "
+    "after a shared outage.",
+    fault_plan=RackFailurePlan(n_groups=8, mean_interval=150.0,
+                               outage=80.0),
+    grid_overrides=RECOVERY_OVERRIDES))
+
+_register(Scenario(
+    "partition_storm",
+    "Switch domains drop off the network together (partition: state "
+    "survives) and heal with stale protocol state intact.",
+    fault_plan=PartitionStormPlan(n_groups=8, mean_interval=150.0,
+                                  outage=80.0),
+    grid_overrides=RECOVERY_OVERRIDES))
+
+_register(Scenario(
+    "double_failure",
+    "A job's owner and run node are partitioned inside one probe round, "
+    "defeating both §2 watchdogs at once.",
+    fault_plan=DoubleFailurePlan(mean_interval=100.0, outage=60.0),
+    grid_overrides=RECOVERY_OVERRIDES))
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"choose from {sorted(SCENARIOS)}") from None
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)

@@ -1,0 +1,202 @@
+"""Fault plans: named, reusable failure patterns bound to a live grid.
+
+A *plan* is a frozen description (group count, strike rate, outage
+length); calling :meth:`~FaultPlan.install` on a built
+:class:`~repro.grid.system.DesktopGrid` creates the actual injector(s)
+on that grid's simulator, drawing randomness from the grid's dedicated
+``"faults"`` stream so fault timing replays bit-identically for a given
+seed and never perturbs the workload/protocol streams.
+
+Three correlated patterns beyond the independent churn the paper
+evaluates:
+
+* :class:`RackFailurePlan` — whole racks lose power together
+  (crash: volatile state lost) via :class:`GroupFailureInjector`.
+* :class:`PartitionStormPlan` — switch domains drop off the network
+  together (partition: state survives, messages don't).
+* :class:`DoubleFailurePlan` — the adversarial case for §2's recovery
+  story: a job's owner *and* its run node go dark inside the same probe
+  round, so neither side of the owner/runner watchdog pair can cover
+  for the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+import numpy as np
+
+from repro.sim.failure import GroupFailureInjector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.system import DesktopGrid
+
+
+def node_groups(grid: "DesktopGrid", n_groups: int) -> list[list[int]]:
+    """Partition the population into ``n_groups`` contiguous "racks".
+
+    Contiguous in ``node_list`` order — deterministic for a given
+    population, no randomness consumed.
+    """
+    if n_groups < 1:
+        raise ValueError("n_groups must be >= 1")
+    ids = [n.node_id for n in grid.node_list]
+    n_groups = min(n_groups, len(ids))
+    size = max(1, len(ids) // n_groups)
+    groups = [ids[i:i + size] for i in range(0, len(ids), size)]
+    if len(groups) > n_groups:  # fold the remainder into the last rack
+        groups[n_groups - 1:] = [sum(groups[n_groups - 1:], [])]
+    return groups
+
+
+class FaultPlan(Protocol):
+    """Anything that can arm failure injection on a built grid."""
+
+    def install(self, grid: "DesktopGrid") -> object:
+        """Create the injector(s); returns the injector for inspection."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class RackFailurePlan:
+    """Correlated rack power loss: crash a whole group, recover later."""
+
+    n_groups: int = 8
+    mean_interval: float = 120.0
+    outage: float = 60.0
+    jitter: float = 0.5
+    max_strikes: int | None = None
+
+    def install(self, grid: "DesktopGrid") -> GroupFailureInjector:
+        return GroupFailureInjector(
+            grid.sim, grid.streams["faults"],
+            node_groups(grid, self.n_groups),
+            take_down_fn=grid.crash_node, bring_up_fn=grid.recover_node,
+            mean_interval=self.mean_interval, outage=self.outage,
+            jitter=self.jitter, max_strikes=self.max_strikes)
+
+
+@dataclass(frozen=True)
+class PartitionStormPlan:
+    """Correlated switch loss: partition a whole group, heal later.
+
+    State survives (queues, owned-job records, running timers), so heals
+    resurrect *stale* protocol state — the regime that exposed the
+    stale-owner double-FAILED bug this PR guards against.
+    """
+
+    n_groups: int = 8
+    mean_interval: float = 120.0
+    outage: float = 60.0
+    jitter: float = 0.5
+    max_strikes: int | None = None
+
+    def install(self, grid: "DesktopGrid") -> GroupFailureInjector:
+        return GroupFailureInjector(
+            grid.sim, grid.streams["faults"],
+            node_groups(grid, self.n_groups),
+            take_down_fn=grid.partition_node, bring_up_fn=grid.heal_node,
+            mean_interval=self.mean_interval, outage=self.outage,
+            jitter=self.jitter, max_strikes=self.max_strikes)
+
+
+class DoubleFailureInjector:
+    """Take down a job's owner and run node inside one probe round.
+
+    At each strike the injector picks (deterministically, from the
+    ``"faults"`` stream) a job that currently has distinct live owner
+    and run nodes, partitions *both* within ``spread`` seconds — far
+    less than a heartbeat round — and heals them after ``outage``.
+    While both are dark neither the owner's monitor sweep nor the run
+    node's ack watchdog can fire, so recovery must come from the client
+    resubmission watchdog or from the healed nodes' (stale) state.
+    """
+
+    def __init__(self, grid: "DesktopGrid", rng: np.random.Generator,
+                 mean_interval: float, outage: float,
+                 spread: float = 0.25,
+                 max_strikes: int | None = None,
+                 start: bool = True):
+        if mean_interval <= 0 or outage <= 0:
+            raise ValueError("mean_interval and outage must be positive")
+        if spread < 0:
+            raise ValueError("spread must be non-negative")
+        self.grid = grid
+        self.rng = rng
+        self.mean_interval = mean_interval
+        self.outage = outage
+        self.spread = spread
+        self.max_strikes = max_strikes
+        self.strikes = 0
+        self.pairs_hit = 0
+        self.stopped = False
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        self.stopped = False
+        self.grid.sim.schedule(
+            float(self.rng.exponential(self.mean_interval)), self._strike)
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def _candidates(self) -> list[tuple[int, int]]:
+        """(owner, run node) pairs of in-flight jobs, both live, distinct.
+
+        Sorted by job guid so the pick below is a pure function of the
+        rng draw, independent of dict iteration history.
+        """
+        nodes = self.grid.nodes
+        pairs = []
+        for guid in sorted(self.grid.jobs):
+            job = self.grid.jobs[guid]
+            if job.is_done or job.owner_id is None or job.run_node_id is None:
+                continue
+            if job.owner_id == job.run_node_id:
+                continue
+            owner = nodes.get(job.owner_id)
+            runner = nodes.get(job.run_node_id)
+            if owner is None or runner is None:
+                continue
+            if owner.alive and runner.alive:
+                pairs.append((job.owner_id, job.run_node_id))
+        return pairs
+
+    def _strike(self) -> None:
+        if self.stopped:
+            return
+        if self.max_strikes is not None and self.strikes >= self.max_strikes:
+            return
+        self.strikes += 1
+        pairs = self._candidates()
+        if pairs:
+            owner_id, run_id = pairs[int(self.rng.integers(0, len(pairs)))]
+            self.pairs_hit += 1
+            sim = self.grid.sim
+            # Owner first, runner a hair later — both inside one probe
+            # round, so no watchdog observes a half-failed pair.
+            sim.schedule(0.0, self.grid.partition_node, owner_id)
+            sim.schedule(self.spread, self.grid.partition_node, run_id)
+            sim.schedule(self.outage, self.grid.heal_node, owner_id)
+            sim.schedule(self.outage + self.spread,
+                         self.grid.heal_node, run_id)
+        self.grid.sim.schedule(
+            float(self.rng.exponential(self.mean_interval)), self._strike)
+
+
+@dataclass(frozen=True)
+class DoubleFailurePlan:
+    """Owner + run-node double failures at exponential intervals."""
+
+    mean_interval: float = 90.0
+    outage: float = 45.0
+    spread: float = 0.25
+    max_strikes: int | None = None
+
+    def install(self, grid: "DesktopGrid") -> DoubleFailureInjector:
+        return DoubleFailureInjector(
+            grid, grid.streams["faults"],
+            mean_interval=self.mean_interval, outage=self.outage,
+            spread=self.spread, max_strikes=self.max_strikes)

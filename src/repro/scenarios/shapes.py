@@ -1,0 +1,147 @@
+"""Adversarial workload shapes: bursts, cycles, heavy tails.
+
+The paper's evaluation drives every matchmaker with the same benign
+traffic — Poisson arrivals and exponential runtimes.  Scheduler quality
+only separates under the regimes real desktop grids see (Bui et al.,
+arXiv 0812.0736; Banerjee & Hecker, arXiv 1509.06420): flash crowds,
+diurnal load cycles, and heavy-tailed runtimes whose stragglers dominate
+the wait-time tail.  Each shape here is a *transform* over an already
+generated :class:`~repro.workloads.jobs.ScheduledJob` stream, so the A/B
+discipline survives: the base population and stream come from the usual
+seeded streams, the shape perturbs them deterministically (any extra
+randomness comes from a dedicated rng passed in), and every matchmaker /
+mitigation cell replays the identical shaped stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.workloads.jobs import ScheduledJob
+
+Stream = "list[ScheduledJob]"
+
+
+def _rebuild_times(stream: list[ScheduledJob],
+                   gaps: np.ndarray) -> list[ScheduledJob]:
+    """Re-cumulate modified inter-arrival gaps into submit times."""
+    times = np.cumsum(gaps)
+    return [replace(sj, submit_time=float(times[i]))
+            for i, sj in enumerate(stream)]
+
+
+def _gaps_of(stream: list[ScheduledJob]) -> np.ndarray:
+    times = np.array([sj.submit_time for sj in stream], dtype=float)
+    return np.diff(times, prepend=0.0)
+
+
+def flash_crowd(stream: list[ScheduledJob], rng: np.random.Generator,
+                burst_factor: float = 25.0, n_bursts: int = 3,
+                burst_frac: float = 0.12) -> list[ScheduledJob]:
+    """Compress arrival gaps into flash crowds.
+
+    ``n_bursts`` windows are placed over the job index space at
+    rng-chosen offsets; inside a window the arrival rate is multiplied by
+    ``burst_factor`` (10–100x is the regime the ROADMAP calls for), and
+    the gaps *between* windows stretch so the total span stays roughly
+    the base stream's — the same work arrives, but in spikes.
+    """
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must exceed 1")
+    if not 0.0 < burst_frac * n_bursts < 1.0:
+        raise ValueError("bursts must cover a proper fraction of the stream")
+    n = len(stream)
+    if n == 0:
+        return []
+    gaps = _gaps_of(stream)
+    burst_len = max(1, int(round(n * burst_frac)))
+    # Burst start offsets, drawn then sorted so windows are reproducible
+    # and non-overlapping (each start confined to its own 1/n_bursts band).
+    starts = []
+    band = n // max(n_bursts, 1)
+    for b in range(n_bursts):
+        lo = b * band
+        hi = max(lo + 1, (b + 1) * band - burst_len)
+        starts.append(int(rng.integers(lo, hi)))
+    in_burst = np.zeros(n, dtype=bool)
+    for s in starts:
+        in_burst[s:s + burst_len] = True
+    squeeze = 1.0 / burst_factor
+    # Keep total offered time comparable: the time removed from burst
+    # windows is returned to the calm gaps pro-rata.
+    removed = float(gaps[in_burst].sum()) * (1.0 - squeeze)
+    calm = ~in_burst
+    calm_total = float(gaps[calm].sum())
+    stretch = 1.0 + (removed / calm_total if calm_total > 0 else 0.0)
+    new_gaps = np.where(in_burst, gaps * squeeze, gaps * stretch)
+    return _rebuild_times(stream, new_gaps)
+
+
+def diurnal(stream: list[ScheduledJob], rng: np.random.Generator,
+            period: float = 600.0, amplitude: float = 0.8
+            ) -> list[ScheduledJob]:
+    """Sinusoidal day/night arrival-rate modulation.
+
+    The instantaneous rate is ``base * (1 + amplitude*sin(2*pi*t/period))``;
+    gaps are divided by the rate factor at the (pre-transform) arrival
+    time.  ``amplitude`` close to 1 gives near-silent troughs and ~2x
+    peaks.  No randomness is consumed (``rng`` accepted for the uniform
+    shape signature).
+    """
+    del rng  # deterministic transform; keeps the shape(stream, rng) signature
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    gaps = _gaps_of(stream)
+    t = 0.0
+    new_gaps = np.empty_like(gaps)
+    for i, g in enumerate(gaps):
+        rate = 1.0 + amplitude * math.sin(2.0 * math.pi * t / period)
+        new_gaps[i] = g / max(rate, 1e-9)
+        t += float(new_gaps[i])
+    return _rebuild_times(stream, new_gaps)
+
+
+def pareto_runtimes(stream: list[ScheduledJob], rng: np.random.Generator,
+                    alpha: float = 1.6, mean_work: float | None = None,
+                    min_work: float = 1.0) -> list[ScheduledJob]:
+    """Replace runtimes with a mean-matched Pareto (heavy tail).
+
+    ``alpha`` in (1, 2] gives finite mean but infinite (or huge) variance
+    — the straggler regime.  The scale is chosen so the distribution's
+    mean equals ``mean_work`` (default: the base stream's empirical
+    mean), so total offered load stays comparable and only the *shape*
+    changes.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a finite mean")
+    if mean_work is None:
+        mean_work = float(np.mean([sj.work for sj in stream])) if stream else 1.0
+    # Lomax/Pareto-II with scale m has mean m/(alpha-1).
+    scale = mean_work * (alpha - 1.0)
+    draws = rng.pareto(alpha, size=len(stream)) * scale
+    work = np.maximum(draws, min_work)
+    return [replace(sj, work=float(work[i])) for i, sj in enumerate(stream)]
+
+
+def lognormal_runtimes(stream: list[ScheduledJob], rng: np.random.Generator,
+                       sigma: float = 1.8, mean_work: float | None = None,
+                       min_work: float = 1.0) -> list[ScheduledJob]:
+    """Replace runtimes with a mean-matched lognormal (heavy tail).
+
+    ``mu`` is solved from the target mean (``exp(mu + sigma^2/2)``), so
+    offered load matches the base stream while the tail fattens with
+    ``sigma``.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if mean_work is None:
+        mean_work = float(np.mean([sj.work for sj in stream])) if stream else 1.0
+    mu = math.log(mean_work) - 0.5 * sigma * sigma
+    draws = rng.lognormal(mu, sigma, size=len(stream))
+    work = np.maximum(draws, min_work)
+    return [replace(sj, work=float(work[i])) for i, sj in enumerate(stream)]

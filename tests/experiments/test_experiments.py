@@ -203,3 +203,56 @@ class TestScaling:
         checks = result.shape_checks()
         assert all(checks.values()), checks
         assert "scalability" in result.report()
+
+
+class TestScenarios:
+    SMALL = None  # built lazily; ScenariosConfig import kept local
+
+    @classmethod
+    def config(cls):
+        from repro.experiments.scenarios import ScenariosConfig
+        if cls.SMALL is None:
+            cls.SMALL = ScenariosConfig(n_nodes=32, n_jobs=80,
+                                        max_time=30_000.0)
+        return cls.SMALL
+
+    def test_sweep_cells_complete_and_reported(self):
+        from repro.experiments import run_scenarios_experiment
+
+        result = run_scenarios_experiment(
+            config=self.config(),
+            scenarios=("baseline", "flash_crowd", "double_failure"))
+        assert set(result.by_cell) == {
+            (s, m) for s in result.scenarios for m in result.mitigations}
+        assert all(c["finished"] == 1.0 for c in result.by_cell.values())
+        report = result.report()
+        for name in result.scenarios:
+            assert name in report
+        checks = result.shape_checks()
+        assert checks["all_cells_finished"]
+        assert checks["baseline_completes"]
+
+    def test_serial_parallel_bit_identical(self):
+        from repro.experiments import run_scenarios_experiment
+
+        kwargs = dict(config=self.config(),
+                      scenarios=("baseline", "correlated_failure"))
+        serial = run_scenarios_experiment(jobs=1, **kwargs)
+        par = run_scenarios_experiment(jobs=2, **kwargs)
+        assert serial.fingerprints == par.fingerprints
+        assert serial.fingerprints  # non-vacuous
+
+    def test_unknown_mitigation_rejected(self):
+        from repro.experiments import run_scenarios_experiment
+
+        with pytest.raises(KeyError, match="unknown mitigation"):
+            run_scenarios_experiment(config=self.config(),
+                                     scenarios=("baseline",),
+                                     mitigations=("turbo",))
+
+    def test_cell_is_deterministic(self):
+        from repro.experiments.scenarios import run_scenario_cell
+
+        a = run_scenario_cell(self.config(), "double_failure", "mitigated", 5)
+        b = run_scenario_cell(self.config(), "double_failure", "mitigated", 5)
+        assert a == b

@@ -170,6 +170,133 @@ class TestEndToEndRpcMode:
         assert grid.rpc.stats.by_method.get("has-job", 0) >= 1
 
 
+def recovery_cfg(**overrides):
+    """rpc pipeline + heartbeats + tight recovery timers."""
+    defaults = dict(dispatch_ack=True, heartbeats_enabled=True,
+                    heartbeat_interval=2.0, heartbeat_miss_limit=2.0)
+    defaults.update(overrides)
+    return rpc_cfg(**defaults)
+
+
+def submit_one(grid, work=60.0, name="df-job"):
+    client = grid.client("c")
+    job = Job(profile=JobProfile(name=name, client_id=client.node_id,
+                                 requirements=(0.0, 0.0, 0.0), work=work))
+    grid.submit_at(0.0, client, job)
+    return client, job
+
+
+class TestDoubleFailure:
+    """§2's adversarial case: the owner *and* the run node go dark inside
+    one probe round, so neither watchdog of the owner/runner pair can
+    cover for the other."""
+
+    def test_short_outage_recovers_from_stale_state(self):
+        """Both partitioned, both heal before the client would give up:
+        the healed owner's record and the healed runner's queue state are
+        stale but self-consistent, and the protocol drains normally."""
+        grid = make_small_grid("rn-tree", n_nodes=12, cfg=recovery_cfg())
+        client, job = submit_one(grid, work=60.0)
+        grid.run(until=8.0)
+        assert job.state is JobState.RUNNING
+        owner_id, run_id = job.owner_id, job.run_node_id
+        assert owner_id != run_id
+        # One probe round apart (0.25s << heartbeat_interval), per the
+        # DoubleFailureInjector's schedule, then a short shared outage.
+        grid.partition_node(owner_id)
+        grid.sim.schedule(0.25, grid.partition_node, run_id)
+        grid.sim.schedule(10.0, grid.heal_node, owner_id)
+        grid.sim.schedule(10.25, grid.heal_node, run_id)
+        assert grid.run_until_done(max_time=5000)
+        assert job.state is JobState.COMPLETED
+        done = [j.guid for j in grid.metrics.done]
+        assert done.count(job.guid) == 1
+
+    def test_long_outage_recovers_via_client_resubmission(self):
+        """Both dark past the client timeout: only the client watchdog is
+        left, and it must re-inject without double-accounting once the
+        stale pair heals and its copy's result races the fresh one."""
+        cfg = recovery_cfg(client_resubmit_enabled=True,
+                           client_check_interval=5.0, client_timeout=20.0)
+        grid = make_small_grid("rn-tree", n_nodes=12, cfg=cfg)
+        client, job = submit_one(grid, work=60.0)
+        grid.run(until=8.0)
+        assert job.state is JobState.RUNNING
+        owner_id, run_id = job.owner_id, job.run_node_id
+        assert owner_id != run_id
+        grid.partition_node(owner_id)
+        grid.sim.schedule(0.25, grid.partition_node, run_id)
+        grid.sim.schedule(90.0, grid.heal_node, owner_id)
+        grid.sim.schedule(90.25, grid.heal_node, run_id)
+        assert grid.run_until_done(max_time=5000)
+        assert job.state is JobState.COMPLETED
+        assert job.attempt >= 2          # the resubmission drove recovery
+        assert grid.metrics.resubmissions >= 1
+        # Exactly-once terminal accounting despite the duplicate copy.
+        done = [j.guid for j in grid.metrics.done]
+        assert done.count(job.guid) == 1
+        # Let the healed pair's stale timers all fire; nothing may
+        # un-complete the job.
+        grid.run(until=grid.sim.now + 120.0)
+        assert job.state is JobState.COMPLETED
+        assert done.count(job.guid) == 1
+
+
+class TestStaleOwnerHealRace:
+    """Regression: a heal racing the heartbeat re-registration path let a
+    stale owner's monitor sweep FAIL a job its replacement owner had
+    already completed — the job was counted done twice (COMPLETED at the
+    client, then FAILED by the zombie record)."""
+
+    def test_healed_owner_discards_stale_record(self):
+        grid = make_small_grid("rn-tree", n_nodes=12, cfg=recovery_cfg())
+        client, job = submit_one(grid, work=30.0, name="stale-owner")
+        grid.run(until=8.0)
+        assert job.state is JobState.RUNNING
+        owner_id = job.owner_id
+        assert owner_id != job.run_node_id
+        owner = grid.nodes[owner_id]
+        # Deterministic schedule: partition the owner mid-run; the runner
+        # recruits a replacement; the job completes under it; then the
+        # old owner heals with its pre-outage record intact.
+        grid.partition_node(owner_id)
+        grid.sim.schedule(90.0, grid.heal_node, owner_id)
+        assert grid.run_until_done(max_time=5000)
+        assert job.state is JobState.COMPLETED
+        assert job.owner_id != owner_id        # ownership moved
+        assert grid.metrics.recoveries["owner"] >= 1
+        # Past the heal plus several sweep periods: the stale record must
+        # be discarded, not acted on.
+        grid.run(until=200.0)
+        assert job.state is JobState.COMPLETED, (
+            "healed stale owner re-failed a completed job")
+        assert job.guid not in owner.owned
+        done = [j.guid for j in grid.metrics.done]
+        assert done.count(job.guid) == 1
+        assert grid.metrics.summary()["failed"] == 0.0
+
+    def test_owner_fail_is_noop_on_terminal_job(self):
+        """The terminal-transition guard itself: no path may flip a
+        COMPLETED job to FAILED."""
+        grid = make_small_grid(cfg=rpc_cfg())
+        owner = grid.node_list[0]
+        job = adopt_job(grid, owner)
+        job.state = JobState.COMPLETED
+        owner._owner_fail_job(job, "stale sweep")
+        assert job.state is JobState.COMPLETED
+        assert job.failure_reason is None
+        assert job.guid not in owner.owned
+
+    def test_owner_fail_is_noop_after_ownership_moved(self):
+        grid = make_small_grid(cfg=rpc_cfg())
+        old_owner, new_owner = grid.node_list[:2]
+        job = adopt_job(grid, old_owner)
+        job.owner_id = new_owner.node_id   # adoption moved the job
+        old_owner._owner_fail_job(job, "stale sweep")
+        assert job.state is not JobState.FAILED
+        assert job.guid not in old_owner.owned
+
+
 class TestOracleDeterminism:
     # Pre-pipeline reference values (mixed-heavy figure2 scenario at scale
     # 0.06, seed 1), captured before the refactor: the oracle pipeline

@@ -1,0 +1,120 @@
+"""Workload shapes: determinism, load conservation, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scenarios.shapes import (
+    diurnal,
+    flash_crowd,
+    lognormal_runtimes,
+    pareto_runtimes,
+)
+from repro.workloads.jobs import ScheduledJob
+
+
+def make_stream(n=200, gap=5.0, work=60.0):
+    return [ScheduledJob(submit_time=(i + 1) * gap, client_index=0,
+                         requirements=(0.0, 0.0, 0.0), work=work,
+                         name=f"job-{i:03d}")
+            for i in range(n)]
+
+
+def rng(seed=9):
+    return np.random.default_rng(seed)
+
+
+class TestFlashCrowd:
+    def test_deterministic_per_rng_seed(self):
+        a = flash_crowd(make_stream(), rng())
+        b = flash_crowd(make_stream(), rng())
+        assert [s.submit_time for s in a] == [s.submit_time for s in b]
+
+    def test_same_jobs_different_times(self):
+        base = make_stream()
+        shaped = flash_crowd(base, rng())
+        assert [s.name for s in shaped] == [s.name for s in base]
+        assert [s.work for s in shaped] == [s.work for s in base]
+        assert [s.submit_time for s in shaped] != \
+            [s.submit_time for s in base]
+
+    def test_total_span_roughly_preserved(self):
+        base = make_stream()
+        shaped = flash_crowd(base, rng())
+        assert shaped[-1].submit_time == \
+            pytest.approx(base[-1].submit_time, rel=0.05)
+
+    def test_bursts_compress_gaps(self):
+        shaped = flash_crowd(make_stream(), rng(), burst_factor=25.0)
+        times = np.array([s.submit_time for s in shaped])
+        gaps = np.diff(times)
+        # Burst windows show the 25x compression; calm stretches exceed
+        # the base gap.
+        assert gaps.min() == pytest.approx(5.0 / 25.0, rel=0.01)
+        assert gaps.max() > 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd(make_stream(), rng(), burst_factor=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd(make_stream(), rng(), n_bursts=5, burst_frac=0.25)
+
+    def test_empty_stream(self):
+        assert flash_crowd([], rng()) == []
+
+
+class TestDiurnal:
+    def test_deterministic_and_rng_free(self):
+        # Different rng seeds, identical output: the transform draws
+        # nothing.
+        a = diurnal(make_stream(), rng(1))
+        b = diurnal(make_stream(), rng(2))
+        assert [s.submit_time for s in a] == [s.submit_time for s in b]
+
+    def test_modulates_rate_both_ways(self):
+        shaped = diurnal(make_stream(), rng(), period=600.0, amplitude=0.8)
+        gaps = np.diff([0.0] + [s.submit_time for s in shaped])
+        assert gaps.min() < 5.0 < gaps.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal(make_stream(), rng(), amplitude=1.0)
+        with pytest.raises(ValueError):
+            diurnal(make_stream(), rng(), period=0.0)
+
+
+class TestHeavyTails:
+    @pytest.mark.parametrize("shape", [pareto_runtimes, lognormal_runtimes])
+    def test_mean_matched(self, shape):
+        base = make_stream(n=4000, work=60.0)
+        shaped = shape(base, rng())
+        works = np.array([s.work for s in shaped])
+        # Offered load is comparable: the empirical mean lands near the
+        # base mean (heavy tails converge slowly; the bound is loose).
+        assert 0.5 * 60.0 < works.mean() < 2.0 * 60.0
+        # But the tail is genuinely heavy.
+        assert works.max() / np.median(works) > 10.0
+
+    @pytest.mark.parametrize("shape", [pareto_runtimes, lognormal_runtimes])
+    def test_arrivals_untouched(self, shape):
+        base = make_stream()
+        shaped = shape(base, rng())
+        assert [s.submit_time for s in shaped] == \
+            [s.submit_time for s in base]
+
+    def test_min_work_floor(self):
+        shaped = pareto_runtimes(make_stream(n=500), rng(), min_work=1.0)
+        assert min(s.work for s in shaped) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pareto_runtimes(make_stream(), rng(), alpha=1.0)
+        with pytest.raises(ValueError):
+            lognormal_runtimes(make_stream(), rng(), sigma=0.0)
+
+    def test_lognormal_mu_solved_from_mean(self):
+        # exp(mu + sigma^2/2) == mean_work by construction.
+        sigma, mean_work = 1.8, 60.0
+        mu = math.log(mean_work) - 0.5 * sigma * sigma
+        assert math.exp(mu + 0.5 * sigma * sigma) == pytest.approx(mean_work)

@@ -25,6 +25,7 @@ from pathlib import Path
 from perf import (
     BASELINE_PATH,
     CPU_SENSITIVE_CELLS,
+    ENGINE_METRICS,
     MEMORY_METRICS,
     PERF_PATH,
     PERF_SCHEMA,
@@ -88,7 +89,29 @@ def compare(baseline: dict, current: dict,
             ratio = after / before if before else float("inf")
             status = "warn (mem)" if ratio > 1.0 + tolerance else "ok"
             rows.append((cell, metric, before, after, ratio, status))
+    # Engine-overhead metrics are warn-only too: parent-side merge
+    # bookkeeping is millisecond-scale and noisy on shared runners, so
+    # drift is surfaced in the table but never gates.
+    for cell in sorted(set(baseline["entries"]) & set(current["entries"])):
+        for metric, higher_is_better in sorted(ENGINE_METRICS.items()):
+            before = baseline["entries"][cell].get(metric)
+            after = current["entries"][cell].get(metric)
+            if before is None or after is None:
+                continue
+            ratio = after / before if before else float("inf")
+            worse = (ratio < 1.0 - tolerance if higher_is_better
+                     else ratio > 1.0 + tolerance)
+            status = "warn (engine)" if worse else "ok"
+            rows.append((cell, metric, before, after, ratio, status))
     return rows, regressed
+
+
+def _fmt(value: float | None) -> str:
+    """Counts get thousands separators; sub-10 values (merge seconds,
+    speedup ratios) keep three decimals instead of collapsing to 0."""
+    if value is None:
+        return "-"
+    return f"{value:,.0f}" if abs(value) >= 10 else f"{value:.3f}"
 
 
 def render(rows: list[tuple], tolerance: float) -> str:
@@ -96,8 +119,8 @@ def render(rows: list[tuple], tolerance: float) -> str:
               f"{'current':>12} {'ratio':>7}  status")
     lines = [header, "-" * len(header)]
     for cell, metric, before, after, ratio, status in rows:
-        b = f"{before:,.0f}" if before is not None else "-"
-        a = f"{after:,.0f}" if after is not None else "-"
+        b = _fmt(before)
+        a = _fmt(after)
         r = f"{ratio:.2f}x" if ratio is not None else "-"
         lines.append(f"{cell:<26} {metric:<13} {b:>12} {a:>12} {r:>7}  {status}")
     lines.append(f"(regression threshold: ratio < {1.0 - tolerance:.2f}x; "

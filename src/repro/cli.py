@@ -175,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="attach the telemetry stack and export the "
                           "span/metric stream as JSONL to PATH (supported "
                           "for: " + ", ".join(sorted(TELEMETRY_RUNNERS)) + ")")
+    run.add_argument("--engine-stats", action="store_true",
+                     help="print parallel-engine self-telemetry after the "
+                          "run (batching, worker utilization, merge time, "
+                          "serialized bytes; meaningful with --jobs >= 2)")
 
     trace = sub.add_parser(
         "trace",
@@ -404,6 +408,11 @@ def _main(argv: list[str] | None = None) -> int:
         return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    engine_stats = getattr(args, "engine_stats", False)
+    if engine_stats:
+        from repro.experiments import parallel
+
+        parallel.reset_engine_stats()
     all_ok = True
     for name in names:
         if len(names) > 1:
@@ -411,6 +420,9 @@ def _main(argv: list[str] | None = None) -> int:
         all_ok &= _run_one(name, args.scale, args.seeds, args.out, args.check,
                            telemetry_out=args.telemetry,
                            jobs=getattr(args, "jobs", None))
+    if engine_stats:
+        print()
+        print(parallel.render_engine_stats())
     return 0 if all_ok else 1
 
 

@@ -21,7 +21,7 @@ from repro.dht.can import CANNode, CANOverlay
 from repro.dht.chord import ChordOverlay
 from repro.dht.kademlia import KademliaOverlay
 from repro.dht.pastry import PastryOverlay
-from repro.experiments.parallel import call, map_cells
+from repro.experiments.parallel import call, map_cells, sharded
 from repro.metrics.report import format_table
 from repro.util.ids import guid_for
 from repro.util.rng import RngStreams
@@ -102,44 +102,91 @@ class DHTScalingResult:
         }
 
 
-def _run_size_cell(n: int, lookups: int, can_dims: int,
-                   seed: int) -> dict[str, float]:
-    """Lookup-cost means for every substrate at one population size.
+#: Shard axis of one size cell: each substrate draws from its own
+#: (seed, name)-keyed streams, so the four runs are independent.
+SUBSTRATES: tuple[str, ...] = ("chord", "pastry", "kademlia", "can")
 
-    A fresh ``RngStreams(seed)`` per cell yields streams bit-identical to
-    the historical shared instance: stream derivation is (seed, name)
-    keyed and every name here embeds ``n``, so cells are independent and
-    safe to run in worker processes.
+
+def _run_substrate_cell(substrate: str, n: int, lookups: int,
+                        can_dims: int, seed: int) -> dict[str, float]:
+    """Lookup-cost mean for *one* substrate at one population size.
+
+    One shard of a size cell.  A fresh ``RngStreams(seed)`` yields
+    streams bit-identical to the historical shared instance: stream
+    derivation is (seed, name) keyed and every name here embeds both the
+    substrate and ``n``, so shards are independent of each other and of
+    which process runs them.
     """
     t0 = perf_counter()
     streams = RngStreams(seed)
     ids = sorted({guid_for(f"dht-node-{n}-{i}") for i in range(n)})
     out: dict[str, float] = {}
-
-    chord = ChordOverlay(streams[f"chord-{n}"])
-    chord.build(ids)
-    out["chord"] = _mean_hops(chord, n, lookups, "c")
-
-    pastry = PastryOverlay(streams[f"pastry-{n}"])
-    pastry.build(ids)
-    out["pastry"] = _mean_hops(pastry, n, lookups, "p")
-
-    kad = KademliaOverlay(streams[f"kad-{n}"])
-    kad.build(ids)
-    out["kademlia"] = _mean_hops(kad, n, lookups, "k")
-
-    can = CANOverlay(streams[f"can-{n}"], dims=can_dims)
-    coord_rng = streams[f"can-coords-{n}"]
-    for nid in ids:
-        can.join(CANNode(nid, tuple(coord_rng.uniform(0, 1, can_dims))))
-    hops = []
-    for _ in range(lookups):
-        res = can.route(tuple(coord_rng.uniform(0, 1, can_dims)))
-        if res.success:
-            hops.append(res.hops)
-    out["can"] = float(np.mean(hops))
+    if substrate == "chord":
+        chord = ChordOverlay(streams[f"chord-{n}"])
+        chord.build(ids)
+        out["chord"] = _mean_hops(chord, n, lookups, "c")
+    elif substrate == "pastry":
+        pastry = PastryOverlay(streams[f"pastry-{n}"])
+        pastry.build(ids)
+        out["pastry"] = _mean_hops(pastry, n, lookups, "p")
+    elif substrate == "kademlia":
+        kad = KademliaOverlay(streams[f"kad-{n}"])
+        kad.build(ids)
+        out["kademlia"] = _mean_hops(kad, n, lookups, "k")
+    elif substrate == "can":
+        can = CANOverlay(streams[f"can-{n}"], dims=can_dims)
+        coord_rng = streams[f"can-coords-{n}"]
+        for nid in ids:
+            can.join(CANNode(nid, tuple(coord_rng.uniform(0, 1, can_dims))))
+        hops = []
+        for _ in range(lookups):
+            res = can.route(tuple(coord_rng.uniform(0, 1, can_dims)))
+            if res.success:
+                hops.append(res.hops)
+        out["can"] = float(np.mean(hops))
+    else:
+        raise ValueError(f"unknown substrate {substrate!r}")
     out["wall_s"] = perf_counter() - t0
     return out
+
+
+def _reduce_size_cell(parts: list[dict[str, float]]) -> dict[str, float]:
+    """Reassemble substrate shards into one size-cell result.
+
+    Hop means pass through untouched; ``wall_s`` sums (the cell's cost
+    is the work done for it, wherever it ran — the budget guard keeps
+    its meaning under sharding)."""
+    out: dict[str, float] = {}
+    wall = 0.0
+    for p in parts:
+        for k, v in p.items():
+            if k == "wall_s":
+                wall += v
+            else:
+                out[k] = v
+    out["wall_s"] = wall
+    return out
+
+
+def _run_size_cell(n: int, lookups: int, can_dims: int,
+                   seed: int) -> dict[str, float]:
+    """Lookup-cost means for every substrate at one population size.
+
+    The unsharded form — all four substrates in one process — kept as
+    the witness that sharding is a pure transport change: it runs the
+    same shards sequentially through the same reducer."""
+    return _reduce_size_cell(
+        [_run_substrate_cell(s, n, lookups, can_dims, seed)
+         for s in SUBSTRATES])
+
+
+def _substrate_cost(substrate: str, n: int) -> float:
+    """Relative cost hint per shard: every substrate pays ~N log N for
+    the build, Pastry with a far heavier constant (its routing tables
+    dominate past ~4k nodes) and CAN with its join-split overhead."""
+    base = float(n) * max(float(np.log2(n)), 1.0)
+    factor = {"chord": 1.0, "pastry": 3.0, "kademlia": 1.5, "can": 2.0}
+    return base * factor[substrate]
 
 
 def run_dht_scaling(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
@@ -147,22 +194,41 @@ def run_dht_scaling(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
                     seed: int = 1,
                     include_large: bool = False,
                     cell_budget_s: float = DEFAULT_CELL_BUDGET_S,
-                    jobs: int | None = None) -> DHTScalingResult:
+                    jobs: int | None = None,
+                    shard_cells: bool = True) -> DHTScalingResult:
     """Lookup-cost scaling across all four substrates.
 
     ``include_large`` appends :data:`LARGE_SIZES` (2048/4096/10000) to
     ``sizes``.  Each size cell's wall-clock is checked against
     ``cell_budget_s``: exceeding it is recorded in the result's
     ``over_budget`` flags (and the report column), not raised.
+
+    ``shard_cells`` (default on) declares each size cell as four
+    per-substrate shards, so ``--jobs`` can split even a single heavy
+    size (a 10k-node Pastry build no longer serializes the whole cell);
+    results are identical either way.
     """
     if include_large:
         sizes = tuple(sizes) + tuple(n for n in LARGE_SIZES
                                      if n not in sizes)
     result = DHTScalingResult(sizes=sizes, can_dims=can_dims,
                               cell_budget_s=cell_budget_s)
-    cells = map_cells(_run_size_cell,
-                      [call(n, lookups, can_dims, seed) for n in sizes],
-                      jobs=jobs)
+    if shard_cells:
+        cells_spec = [
+            sharded(_run_substrate_cell,
+                    [call(s, n, lookups, can_dims, seed).with_cost(
+                        cost=_substrate_cost(s, n), kind=f"dht:{s}:n{n}")
+                     for s in SUBSTRATES],
+                    _reduce_size_cell, kind=f"dht:size:n{n}")
+            for n in sizes
+        ]
+    else:
+        cells_spec = [call(n, lookups, can_dims, seed).with_cost(
+                          cost=sum(_substrate_cost(s, n)
+                                   for s in SUBSTRATES),
+                          kind=f"dht:size:n{n}")
+                      for n in sizes]
+    cells = map_cells(_run_size_cell, cells_spec, jobs=jobs)
     for name in ("chord", "pastry", "kademlia", "can"):
         result.mean_hops[name] = [cell[name] for cell in cells]
     result.wall_s = [cell["wall_s"] for cell in cells]

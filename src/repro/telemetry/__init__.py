@@ -16,6 +16,9 @@ first-class observable without perturbing it:
   CLI wire through every layer.
 * :mod:`repro.telemetry.flight` — per-node bounded flight recorder,
   dumped into the trace when a job fails.
+* :mod:`repro.telemetry.spool` — chunked columnar spool files carrying
+  worker telemetry back to the parent in ``--jobs N`` sweeps (the
+  parallel engine's streaming merge).
 * :mod:`repro.telemetry.timeline` — span-tree reconstruction and timeline
   analytics over a recorded trace (``repro job-trace``).
 * :mod:`repro.telemetry.summary` — text reports (hop distributions,
@@ -83,6 +86,7 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.spool import fold_spool, write_spool
 from repro.telemetry.summary import telemetry_report
 from repro.telemetry.timeline import (
     JobTrace,
@@ -111,8 +115,10 @@ __all__ = [
     "Timeline",
     "TraceEvent",
     "build_timeline",
+    "fold_spool",
     "load_jsonl",
     "telemetry_report",
     "timeline_from_bus",
     "timeline_from_jsonl",
+    "write_spool",
 ]

@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceEvent:
     """One trace record (an event, or a completed span).
 
@@ -35,6 +35,13 @@ class TraceEvent:
     of the grid emitted it, so the timeline layer can stitch probe/
     dispatch/monitor records produced on remote nodes back into the
     submitting job's tree (see :mod:`repro.telemetry.timeline`).
+
+    Slots, not frozen: records are constructed on every traced operation
+    and in bulk by the parallel-sweep spool fold, so construction cost and
+    per-instance memory are hot-path concerns (a frozen dataclass pays
+    ``object.__setattr__`` per field; a dict-backed one pays ~200 bytes
+    per record).  Treat instances as immutable everywhere outside
+    :mod:`repro.telemetry.spool`, which renumbers span ids during fold.
     """
 
     time: float
@@ -250,6 +257,31 @@ class TelemetryBus:
         # accepted counts records *ever* appended; importing the worker's
         # count (not just the surviving records) preserves its drops.
         self.accepted += state["accepted"]
+
+    @property
+    def span_watermark(self) -> int:
+        """Span-id high-water mark: the offset a bulk import of a worker
+        stream must add to every span/parent id so the combined stream
+        carries the ids one shared serial bus would have allocated."""
+        return self._next_span
+
+    def import_stream(self, records: Iterable[TraceEvent],
+                      spans: int = 0, accepted: int = 0) -> None:
+        """Bulk-append worker records whose span/parent ids were *already*
+        offset by :attr:`span_watermark` — the spool fold's fast path
+        (:mod:`repro.telemetry.spool`), which renumbers whole id columns
+        at once instead of reconstructing records one at a time the way
+        :meth:`merge` must.
+
+        ``spans``/``accepted`` import the worker's counters; the spool
+        fold reserves the worker's span-id block up front (one call with
+        no records) and then streams record chunks in.  Appending through
+        the deque keeps the ring-buffer eviction semantics of
+        :meth:`merge`.
+        """
+        self.records.extend(records)
+        self._next_span += spans
+        self.accepted += accepted
 
     # -- JSONL export ----------------------------------------------------
 

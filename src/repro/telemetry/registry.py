@@ -257,6 +257,103 @@ class MetricsRegistry:
                              m.count, m.total, m.min, m.max)
         return out
 
+    def state_columnar(self) -> tuple:
+        """Compact columnar counterpart of :meth:`state`.
+
+        Same fidelity, different shape: instead of one tagged tuple per
+        metric (whose pickle pays a dict entry and a tag string each),
+        metrics are grouped by kind into parallel columns, and histogram
+        edge tuples are interned in a shared table (nearly every
+        histogram uses :data:`DEFAULT_EDGES`, so the table almost always
+        has one entry).  Layout::
+
+            ("m1",
+             (names, values),                       # counters
+             (names, values, hwms),                 # gauges
+             (names, edge_table, edge_ref,          # histograms
+              buckets, counts, totals, mins, maxs))
+
+        ``edge_ref[i]`` indexes ``edge_table``; ``buckets[i]`` is the
+        bucket-count tuple for ``names[i]``.  This is the metrics block
+        of the parallel engine's spool format
+        (:mod:`repro.telemetry.spool`); fold with
+        :meth:`merge_columnar`.
+        """
+        c_names: list[str] = []
+        c_vals: list[float] = []
+        g_names: list[str] = []
+        g_vals: list[float] = []
+        g_hwms: list[float] = []
+        h_names: list[str] = []
+        h_refs: list[int] = []
+        h_buckets: list[tuple] = []
+        h_counts: list[int] = []
+        h_totals: list[float] = []
+        h_mins: list[float] = []
+        h_maxs: list[float] = []
+        edge_table: list[tuple] = []
+        edge_index: dict[tuple, int] = {}
+        for name, m in self._metrics.items():
+            if isinstance(m, Counter):
+                c_names.append(name)
+                c_vals.append(m.value)
+            elif isinstance(m, Gauge):
+                g_names.append(name)
+                g_vals.append(m.value)
+                g_hwms.append(m.hwm)
+            else:
+                ref = edge_index.get(m.edges)
+                if ref is None:
+                    ref = edge_index[m.edges] = len(edge_table)
+                    edge_table.append(m.edges)
+                h_names.append(name)
+                h_refs.append(ref)
+                h_buckets.append(tuple(m.buckets))
+                h_counts.append(m.count)
+                h_totals.append(m.total)
+                h_mins.append(m.min)
+                h_maxs.append(m.max)
+        return ("m1",
+                (c_names, c_vals),
+                (g_names, g_vals, g_hwms),
+                (h_names, edge_table, h_refs, h_buckets,
+                 h_counts, h_totals, h_mins, h_maxs))
+
+    def merge_columnar(self, enc: tuple) -> None:
+        """Fold a :meth:`state_columnar` dump into this registry.
+
+        Identical merge semantics to :meth:`merge` (counters add, gauges
+        last-write-wins with hwm max, histograms bucket-wise with edge
+        checks) — merging per-worker dumps in cell-submission order
+        reproduces the serial registry exactly.
+        """
+        if not enc or enc[0] != "m1":  # pragma: no cover - corrupted transfer
+            raise ValueError(f"unknown columnar metrics tag: {enc[:1]!r}")
+        _, counters, gauges, hists = enc
+        for name, value in zip(*counters):
+            self.counter(name).inc(value)
+        for name, value, hwm in zip(*gauges):
+            g = self.gauge(name)
+            g.value = float(value)
+            if hwm > g.hwm:
+                g.hwm = hwm
+        h_names, edge_table, h_refs, h_buckets, h_counts, h_totals, \
+            h_mins, h_maxs = hists
+        for i, name in enumerate(h_names):
+            edges = tuple(edge_table[h_refs[i]])
+            h = self.histogram(name, edges)
+            if h.edges != edges:
+                raise ValueError(f"cannot merge histogram {name!r}: "
+                                 "bucket edges differ")
+            for j, n in enumerate(h_buckets[i]):
+                h.buckets[j] += n
+            h.count += h_counts[i]
+            h.total += h_totals[i]
+            if h_mins[i] < h.min:
+                h.min = h_mins[i]
+            if h_maxs[i] > h.max:
+                h.max = h_maxs[i]
+
     def merge(self, state: "MetricsRegistry | dict[str, tuple]") -> None:
         """Fold a :meth:`state` dump (or another registry) into this one.
 

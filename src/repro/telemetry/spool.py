@@ -1,0 +1,151 @@
+"""Chunked columnar spooling of worker telemetry for parallel sweeps.
+
+The v1 parallel engine shipped worker telemetry back as one pickled
+``(MetricsRegistry.state(), TelemetryBus.state())`` blob per cell: the
+whole record list pickles as N individual :class:`TraceEvent` objects and
+the parent reconstructs every span-carrying record a second time inside
+:meth:`TelemetryBus.merge`.  For traced sweeps that one-shot round trip
+dominates parent-side wall time and holds every worker's full stream in
+memory at once.
+
+A *spool* is the streaming replacement: the worker writes its telemetry
+to a file as a sequence of length-prefixed pickle blocks, and the parent
+folds it incrementally as each future completes.
+
+Format (version 1) — each block is a 4-byte little-endian length followed
+by a pickle blob:
+
+* block 0 — header dict: ``{"version", "spans", "accepted", "n_records",
+  "metrics"}`` where ``"metrics"`` is the compact columnar registry dump
+  (:meth:`MetricsRegistry.state_columnar`);
+* blocks 1..k — record chunks: a 7-tuple of parallel lists ``(time,
+  category, detail, span_id, parent_id, duration, trace_id)``,
+  :data:`CHUNK_RECORDS` rows per chunk.
+
+Why columnar chunks beat the pickled-state path:
+
+* pickling seven flat lists memoizes the (heavily repeated) category
+  strings and detail keys once per chunk instead of spelling a class
+  reference and field markers per record — the stream is ~1.5x smaller;
+* the fold renumbers the span/parent id *columns* with two list
+  comprehensions and rebuilds records by positional slots-dataclass
+  construction — about half the per-record cost of
+  :meth:`TelemetryBus.merge`'s reconstruct-per-record loop;
+* chunking bounds parent peak memory to one chunk per in-flight fold
+  rather than one full worker stream per outstanding future.
+
+The fold preserves the engine's determinism contract: ids are offset by
+the parent's :attr:`~TelemetryBus.span_watermark` exactly as
+:meth:`TelemetryBus.merge` would, so folding per-worker spools in cell
+submission order reproduces the serial bus byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from pathlib import Path
+from typing import Any, BinaryIO, Iterator
+
+from repro.telemetry.bus import TraceEvent
+
+#: Records per chunk block.  Big enough to amortize the pickle call and
+#: the length prefix, small enough to bound fold-time peak memory.
+CHUNK_RECORDS = 32768
+
+SPOOL_VERSION = 1
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+_LEN = struct.Struct("<I")
+
+
+def _write_block(fh: BinaryIO, obj: Any) -> int:
+    blob = pickle.dumps(obj, protocol=_PROTO)
+    fh.write(_LEN.pack(len(blob)))
+    fh.write(blob)
+    return _LEN.size + len(blob)
+
+
+def _read_blocks(fh: BinaryIO) -> Iterator[Any]:
+    read = fh.read
+    size = _LEN.size
+    unpack = _LEN.unpack
+    while True:
+        head = read(size)
+        if not head:
+            return
+        if len(head) != size:
+            raise ValueError("truncated spool block header")
+        (n,) = unpack(head)
+        blob = read(n)
+        if len(blob) != n:
+            raise ValueError("truncated spool block")
+        yield pickle.loads(blob)
+
+
+def write_spool(path: str | Path, telemetry) -> int:
+    """Spool ``telemetry``'s bus records and metrics to ``path``.
+
+    Worker-side half of the streaming merge; returns bytes written (the
+    engine reports them as per-cell serialized volume).
+    """
+    bus = telemetry.bus
+    recs = list(bus.records)
+    nbytes = 0
+    with open(path, "wb") as fh:
+        header = {
+            "version": SPOOL_VERSION,
+            "spans": bus.span_watermark,
+            "accepted": bus.accepted,
+            "n_records": len(recs),
+            "metrics": telemetry.metrics.state_columnar(),
+        }
+        nbytes += _write_block(fh, header)
+        for i in range(0, len(recs), CHUNK_RECORDS):
+            block = recs[i:i + CHUNK_RECORDS]
+            cols = ([r.time for r in block],
+                    [r.category for r in block],
+                    [r.detail for r in block],
+                    [r.span_id for r in block],
+                    [r.parent_id for r in block],
+                    [r.duration for r in block],
+                    [r.trace_id for r in block])
+            nbytes += _write_block(fh, cols)
+    return nbytes
+
+
+def fold_spool(path: str | Path, telemetry) -> int:
+    """Fold a spool file into ``telemetry``; returns records imported.
+
+    Parent-side half.  Equivalent to ``bus.merge(state)`` +
+    ``metrics.merge(state)`` on the pickled-state path — same offsets,
+    same ordering guarantees — but streams chunk by chunk.  The worker's
+    span-id block is reserved up front (so the offset math matches a
+    one-shot merge even mid-stream), then record chunks are renumbered
+    columnwise and bulk-appended.
+    """
+    bus = telemetry.bus
+    offset = bus.span_watermark
+    TE = TraceEvent
+    with open(path, "rb") as fh:
+        blocks = _read_blocks(fh)
+        header = next(blocks, None)
+        if not isinstance(header, dict) or "version" not in header:
+            raise ValueError(f"not a telemetry spool: {path}")
+        if header["version"] != SPOOL_VERSION:
+            raise ValueError(f"unsupported spool version "
+                             f"{header['version']!r} in {path}")
+        bus.import_stream((), spans=header["spans"],
+                          accepted=header["accepted"])
+        for cols in blocks:
+            times, cats, dets, spans, parents, durs, traces = cols
+            if offset:
+                spans = [s + offset if s is not None else None
+                         for s in spans]
+                parents = [p + offset if p is not None else None
+                           for p in parents]
+            bus.import_stream([TE(*tup) for tup in
+                               zip(times, cats, dets, spans, parents,
+                                   durs, traces)])
+    telemetry.metrics.merge_columnar(header["metrics"])
+    return header["n_records"]

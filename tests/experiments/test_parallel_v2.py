@@ -1,0 +1,396 @@
+"""Parallel engine v2: scheduling, sharding, batching, and the spool.
+
+Everything here defends one invariant from a different angle: scheduling
+decisions (LPT order, batching, completion order, merge path, sharding)
+affect *when and where* cells run, never *what* the sweep returns — the
+results, merged metrics, and merged span stream must be byte-identical
+to the serial loop no matter how adversarial the schedule.
+"""
+
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import (
+    TimingCache,
+    call,
+    engine_stats,
+    map_cells,
+    render_engine_stats,
+    reset_engine_stats,
+    sharded,
+)
+from repro.experiments.runner import run_workload
+from repro.telemetry.core import Telemetry
+from repro.workloads.spec import FIGURE2_SCENARIOS
+
+#: Tiny but non-trivial: ~30 nodes / 150 jobs per cell.
+WL = FIGURE2_SCENARIOS["mixed-light"].scaled(0.03)
+
+
+@pytest.fixture(autouse=True)
+def _no_timing_cache(monkeypatch):
+    """Placement must not depend on what earlier test runs left in the
+    repo-level timing cache (and tests must not write to it)."""
+    monkeypatch.setenv("REPRO_TIMING_CACHE", "off")
+
+
+# -- module-level cell functions (must pickle) -----------------------------
+
+def _square(x):
+    return x * x
+
+
+def _touch_or_boom(out_dir, tag, duration, explode=False):
+    """Sleeps, then drops a sentinel file — unless told to explode."""
+    if explode:
+        raise RuntimeError("cell exploded")
+    time.sleep(duration)
+    (Path(out_dir) / f"{tag}.done").touch()
+    return tag
+
+
+def _traced_square(x, telemetry=None):
+    telemetry.metrics.counter("squares").inc()
+    telemetry.bus.span(float(x), "test.shard", x=x)
+    return x * x
+
+
+def _sum_parts(parts):
+    return sum(parts)
+
+
+def _reversed_order(futures):
+    return list(reversed(futures))
+
+
+def _rotated_order(futures):
+    return futures[len(futures) // 2:] + futures[:len(futures) // 2]
+
+
+# -- straggler / failure handling ------------------------------------------
+
+class TestFailureCancelsPending:
+    def test_failure_cancels_pending_and_propagates(self, tmp_path):
+        """One failing cell must not leave the sweep grinding through the
+        remaining queue: pending futures are cancelled, the pool shuts
+        down eagerly, and the cell's exception reaches the caller."""
+        n_slow = 20
+        calls = [call(str(tmp_path), "boom", 0.0,
+                      explode=True).with_cost(cost=100.0)]
+        calls += [call(str(tmp_path), f"s{i:02d}",
+                       0.15).with_cost(cost=1.0)
+                  for i in range(n_slow)]
+        with pytest.raises(RuntimeError, match="cell exploded"):
+            map_cells(_touch_or_boom, calls, jobs=2, batch=False)
+        # Cells already running when the failure surfaced finish (worker
+        # processes cannot be interrupted mid-cell) — give them a beat.
+        time.sleep(0.6)
+        executed = len(list(tmp_path.glob("*.done")))
+        assert executed < n_slow // 2, (
+            f"{executed}/{n_slow} slow cells ran after the failure — "
+            "pending futures were not cancelled")
+
+    def test_serial_failure_propagates(self, tmp_path):
+        with pytest.raises(RuntimeError, match="cell exploded"):
+            map_cells(_touch_or_boom,
+                      [call(str(tmp_path), "boom", 0.0, explode=True)],
+                      jobs=1)
+
+
+# -- forced completion order -----------------------------------------------
+
+def _metrics_equal(a, b):
+    """Metric-state equality, modulo histogram running totals (float
+    sums whose grouping differs across workers — last-ulp only)."""
+    assert set(a) == set(b)
+    for name in a:
+        if a[name][0] == "histogram":
+            assert a[name][1:4] == b[name][1:4], name
+            assert a[name][4] == pytest.approx(b[name][4]), name
+            assert a[name][5:] == b[name][5:], name
+        else:
+            assert a[name] == b[name], name
+
+
+class TestCompletionOrderIndependence:
+    """The scheduler's as_completed collection is replaced with
+    adversarial orders; results and telemetry must not move."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        overrides = {"probe_mode": "rpc", "dispatch_ack": True}
+        calls = [call(WL, mm, seed=s, grid_overrides=overrides)
+                 for mm in ("rn-tree", "centralized") for s in (1, 2)]
+        tel = Telemetry()
+        out = map_cells(run_workload, calls, jobs=1, telemetry=tel)
+        return calls, out, tel
+
+    @pytest.mark.parametrize("order", [_reversed_order, _rotated_order])
+    def test_forced_order_bit_identical_to_serial(self, serial, order):
+        calls, serial_out, serial_tel = serial
+        tel = Telemetry()
+        out = map_cells(run_workload, calls, jobs=2, telemetry=tel,
+                        _completion_order=order)
+        for a, b in zip(serial_out, out):
+            assert a.summary == b.summary
+            assert a.events == b.events
+        assert ([r.to_dict() for r in tel.bus.records]
+                == [r.to_dict() for r in serial_tel.bus.records])
+        _metrics_equal(serial_tel.metrics.state(), tel.metrics.state())
+
+    @pytest.mark.parametrize("order", [_reversed_order, _rotated_order])
+    def test_forced_order_with_sharding(self, order):
+        """Sharded cells under an adversarial completion order still
+        reduce to the serial cell results, and shard telemetry folds
+        exactly as the serial shard loop would have recorded it."""
+        cells = [sharded(_traced_square,
+                         [call(x) for x in range(c * 3, c * 3 + 3)],
+                         _sum_parts)
+                 for c in range(4)]
+        t_serial, t_fan = Telemetry(), Telemetry()
+        a = map_cells(None, cells, jobs=1, telemetry=t_serial)
+        b = map_cells(None, cells, jobs=3, telemetry=t_fan,
+                      _completion_order=order)
+        assert a == b
+        assert a == [sum(x * x for x in range(c * 3, c * 3 + 3))
+                     for c in range(4)]
+        assert ([r.to_dict() for r in t_fan.bus.records]
+                == [r.to_dict() for r in t_serial.bus.records])
+        _metrics_equal(t_serial.metrics.state(), t_fan.metrics.state())
+
+
+# -- merge-mode A/B ---------------------------------------------------------
+
+class TestMergeModes:
+    def test_pickled_merge_equivalent_to_spool(self):
+        overrides = {"probe_mode": "rpc", "dispatch_ack": True}
+        calls = [call(WL, "rn-tree", seed=s, grid_overrides=overrides)
+                 for s in (1, 2, 3)]
+        streams = {}
+        for mode in ("spool", "pickled"):
+            tel = Telemetry()
+            map_cells(run_workload, calls, jobs=2, telemetry=tel,
+                      merge_mode=mode)
+            streams[mode] = ([r.to_dict() for r in tel.bus.records],
+                             tel.metrics.state())
+        assert streams["spool"][0] == streams["pickled"][0]
+        _metrics_equal(streams["spool"][1], streams["pickled"][1])
+
+    def test_unknown_merge_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown merge mode"):
+            map_cells(_square, [call(i) for i in range(4)], jobs=2,
+                      merge_mode="telepathy")
+
+    def test_env_merge_mode_consulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MERGE", "pickled")
+        reset_engine_stats()
+        map_cells(_square, [call(i) for i in range(4)], jobs=2)
+        assert engine_stats()[-1].merge_mode == "pickled"
+
+
+# -- batching ---------------------------------------------------------------
+
+class TestBatching:
+    def test_tiny_cells_batch_and_preserve_order(self):
+        reset_engine_stats()
+        out = map_cells(_square, [call(i) for i in range(40)], jobs=2)
+        assert out == [i * i for i in range(40)]
+        stats = engine_stats()[-1]
+        assert stats.n_cells == stats.n_units == 40
+        assert stats.n_batches < 40, "40 uniform tiny cells did not batch"
+
+    def test_batch_false_disables(self):
+        reset_engine_stats()
+        out = map_cells(_square, [call(i) for i in range(12)], jobs=2,
+                        batch=False)
+        assert out == [i * i for i in range(12)]
+        assert engine_stats()[-1].n_batches == 12
+
+    def test_heavy_cell_never_batched_with_others(self):
+        reset_engine_stats()
+        calls = [call(i).with_cost(cost=1000.0 if i == 0 else 1.0)
+                 for i in range(20)]
+        out = map_cells(_square, calls, jobs=2)
+        assert out == [i * i for i in range(20)]
+        stats = engine_stats()[-1]
+        # The heavy unit exceeds the batch target on its own, so it is
+        # sealed into a singleton batch immediately.
+        assert stats.n_batches >= 2
+
+
+# -- engine self-telemetry --------------------------------------------------
+
+class TestEngineStats:
+    def test_parallel_sweep_records_stats(self):
+        reset_engine_stats()
+        tel = Telemetry()
+        calls = [call(WL, "centralized", seed=s) for s in (1, 2)]
+        map_cells(run_workload, calls, jobs=2, telemetry=tel)
+        stats = engine_stats()[-1]
+        assert stats.jobs == 2
+        assert stats.n_cells == 2 and stats.n_units == 2
+        assert stats.wall_s > 0 and stats.busy_s > 0
+        assert stats.payload_bytes > 0 and stats.merge_s > 0
+        assert len(stats.units) == 2
+        assert 0.0 < stats.utilization <= 1.0
+        text = render_engine_stats()
+        assert "parallel engine: 2 cells" in text
+        assert "bytes serialized" in text
+
+    def test_serial_sweep_records_nothing(self):
+        reset_engine_stats()
+        map_cells(_square, [call(i) for i in range(4)], jobs=1)
+        assert engine_stats() == []
+        assert "no parallel sweeps" in render_engine_stats()
+
+
+# -- spool round trip -------------------------------------------------------
+
+class TestSpool:
+    def _traced_worker(self):
+        tel = Telemetry()
+        run_workload(WL, "rn-tree", seed=1, telemetry=tel,
+                     grid_overrides={"probe_mode": "rpc"})
+        return tel
+
+    def test_roundtrip_matches_state_merge(self, tmp_path):
+        from repro.telemetry.spool import fold_spool, write_spool
+
+        worker = self._traced_worker()
+        path = tmp_path / "w.spool"
+        nbytes = write_spool(path, worker)
+        assert nbytes == path.stat().st_size > 0
+
+        via_spool, via_state = Telemetry(), Telemetry()
+        n = fold_spool(path, via_spool)
+        via_state.metrics.merge(worker.metrics.state())
+        via_state.bus.merge(worker.bus.state())
+        assert n == len(worker.bus.records)
+        assert ([r.to_dict() for r in via_spool.bus.records]
+                == [r.to_dict() for r in via_state.bus.records])
+        _metrics_equal(via_state.metrics.state(), via_spool.metrics.state())
+
+    def test_fold_offsets_span_ids_past_existing(self, tmp_path):
+        from repro.telemetry.spool import fold_spool, write_spool
+
+        worker = self._traced_worker()
+        path = tmp_path / "w.spool"
+        write_spool(path, worker)
+        parent = Telemetry()
+        parent.bus.span(0.0, "parent.pre", note="existing span")
+        watermark = parent.bus.span_watermark
+        assert watermark > 0
+        fold_spool(path, parent)
+        folded = [r for r in parent.bus.records
+                  if r.span_id is not None and r.category != "parent.pre"]
+        assert folded and all(r.span_id >= watermark for r in folded)
+
+    def test_empty_telemetry_roundtrip(self, tmp_path):
+        from repro.telemetry.spool import fold_spool, write_spool
+
+        path = tmp_path / "empty.spool"
+        write_spool(path, Telemetry())
+        parent = Telemetry()
+        assert fold_spool(path, parent) == 0
+        assert len(parent.bus.records) == 0
+
+    def test_truncated_spool_rejected(self, tmp_path):
+        from repro.telemetry.spool import fold_spool, write_spool
+
+        worker = self._traced_worker()
+        path = tmp_path / "w.spool"
+        write_spool(path, worker)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) - 7])
+        with pytest.raises(ValueError, match="truncated"):
+            fold_spool(path, Telemetry())
+
+
+# -- timing cache -----------------------------------------------------------
+
+class TestTimingCache:
+    def test_observe_estimate_save_roundtrip(self, tmp_path):
+        path = tmp_path / "timings.json"
+        cache = TimingCache(path)
+        assert cache.estimate("k") is None
+        cache.observe("k", 2.0)
+        cache.observe("k", 4.0)
+        assert cache.estimate("k") == pytest.approx(3.0)
+        cache.save()
+        assert TimingCache(path).estimate("k") == pytest.approx(3.0)
+
+    def test_corrupt_file_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "timings.json"
+        path.write_text("{definitely not json")
+        cache = TimingCache(path)
+        assert cache.estimate("k") is None
+        cache.observe("k", 1.0)
+        cache.save()  # must overwrite the corrupt file, not crash
+        assert TimingCache(path).estimate("k") == pytest.approx(1.0)
+
+    def test_mean_is_capped_not_fossilized(self, tmp_path):
+        cache = TimingCache(tmp_path / "t.json")
+        for _ in range(500):
+            cache.observe("k", 1.0)
+        cache.observe("k", 65.0)
+        # With an uncapped mean the step would move the estimate ~0.13;
+        # the cap keeps recent observations at >= 1/CAP weight.
+        assert cache.estimate("k") == pytest.approx(2.0)
+
+    def test_env_off_disables_persistence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMING_CACHE", "off")
+        assert TimingCache.default().path is None
+
+    def test_env_path_override(self, monkeypatch, tmp_path):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv("REPRO_TIMING_CACHE", str(target))
+        cache = TimingCache.default()
+        assert cache.path == target
+        cache.observe("k", 1.5)
+        cache.save()
+        assert target.is_file()
+
+    def test_parallel_sweep_persists_timings(self, monkeypatch, tmp_path):
+        target = tmp_path / "sweep.json"
+        monkeypatch.setenv("REPRO_TIMING_CACHE", str(target))
+        map_cells(_square, [call(i).with_cost(kind="sq") for i in range(4)],
+                  jobs=2, batch=False)
+        assert TimingCache(target).estimate("sq") is not None
+
+
+# -- sharding: the dht_scaling driver --------------------------------------
+
+class TestDhtSharding:
+    def test_sharded_matches_unsharded_and_parallel(self):
+        from repro.experiments.dht_scaling import run_dht_scaling
+
+        kw = dict(sizes=(64, 128), lookups=30)
+        unsharded = run_dht_scaling(jobs=1, shard_cells=False, **kw)
+        sharded_serial = run_dht_scaling(jobs=1, shard_cells=True, **kw)
+        sharded_fanned = run_dht_scaling(jobs=3, shard_cells=True, **kw)
+        assert unsharded.mean_hops == sharded_serial.mean_hops
+        assert unsharded.mean_hops == sharded_fanned.mean_hops
+
+    def test_shards_fan_out_as_units(self):
+        from repro.experiments.dht_scaling import run_dht_scaling
+
+        reset_engine_stats()
+        run_dht_scaling(sizes=(64, 128), lookups=30, jobs=2)
+        stats = engine_stats()[-1]
+        assert stats.n_cells == 2
+        assert stats.n_units == 8  # four substrate shards per size
+
+
+# -- the v1 tuple form stays accepted ---------------------------------------
+
+def test_legacy_tuple_calls_still_work():
+    out = map_cells(_square, [((i,), {}) for i in range(6)], jobs=2)
+    assert out == [i * i for i in range(6)]
+
+
+def test_call_objects_pickle():
+    c = call(1, two=2).with_cost(cost=3.0, kind="k")
+    assert pickle.loads(pickle.dumps(c)) == c

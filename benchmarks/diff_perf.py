@@ -12,6 +12,9 @@ runners are noisy shared machines; the point is catching step-function
 regressions, not 5% jitter).  Cells listed in ``perf.SCALE_FREE_CELLS``
 are compared at any scale; scale-dependent cells are compared only when
 the two documents were recorded at the same ``REPRO_BENCH_SCALE``.
+Memory metrics (``mem_peak_mb`` / ``bytes_per_node``) gate too: growth
+past ``MEM_FAIL_RATIO`` (+25%, fixed — tracemalloc peaks are
+deterministic) against a same-cpu comparable baseline exits non-zero.
 """
 
 from __future__ import annotations
@@ -33,6 +36,11 @@ from perf import (
     THROUGHPUT_METRICS,
 )
 
+#: Memory metrics hard-fail past this growth ratio (fixed, not BENCH_TOL:
+#: tracemalloc peaks are deterministic, so the gate can be tight even
+#: when the throughput tolerance is slack for noisy CI runners).
+MEM_FAIL_RATIO = 1.25
+
 
 def load_doc(path: Path) -> dict:
     doc = json.loads(path.read_text())
@@ -48,11 +56,15 @@ def compare(baseline: dict, current: dict,
     Row: (cell, metric, baseline value, current value, ratio, status) —
     status is ``ok`` / ``REGRESSED`` / ``warn (cpu)`` / ``warn (mem)`` /
     ``skipped (scale)`` / ``missing``.  Memory metrics (``MEMORY_METRICS``)
-    warn on growth past tolerance but never gate.  When the two documents were recorded on hosts with a
-    different ``cpu_count``, regressions in ``CPU_SENSITIVE_CELLS`` are
-    softened to ``warn (cpu)`` and do not gate: a parallel sweep losing
-    throughput because the runner has fewer cores than the baseline host
-    is a hardware delta, not a code regression.
+    gate like throughput: growth past ``MEM_FAIL_RATIO`` against a
+    same-cpu, same-scale baseline is ``REGRESSED``; against a
+    different-cpu or different-scale baseline (another malloc arena,
+    another working set) it softens to ``warn (mem)``.  When the two
+    documents were recorded on hosts with a different ``cpu_count``,
+    regressions in ``CPU_SENSITIVE_CELLS`` are softened to ``warn (cpu)``
+    and do not gate: a parallel sweep losing throughput because the
+    runner has fewer cores than the baseline host is a hardware delta,
+    not a code regression.
     """
     same_scale = baseline.get("scale") == current.get("scale")
     same_cpus = baseline.get("cpu_count") == current.get("cpu_count")
@@ -77,17 +89,29 @@ def compare(baseline: dict, current: dict,
         else:
             status = "ok"
         rows.append((cell, metric, before, after, ratio, status))
-    # Memory metrics are warn-only: peak footprint growing is usually a
-    # deliberate space/time trade (and tracemalloc peaks are noisy), so a
-    # memory increase is surfaced in the table but never gates.
+    # Memory metrics gate at a fixed +25%: tracemalloc peaks are exact
+    # (not host-load-sensitive like wall clocks), so a step past
+    # MEM_FAIL_RATIO on a comparable baseline is a real footprint
+    # regression, not jitter.  Cross-cpu or cross-scale documents soften
+    # to warn (mem) — different allocator arenas / working sets.
     for cell in sorted(set(baseline["entries"]) & set(current["entries"])):
+        comparable = same_cpus and (same_scale or cell in SCALE_FREE_CELLS)
         for metric in sorted(MEMORY_METRICS):
             before = baseline["entries"][cell].get(metric)
             after = current["entries"][cell].get(metric)
             if before is None or after is None:
                 continue
             ratio = after / before if before else float("inf")
-            status = "warn (mem)" if ratio > 1.0 + tolerance else "ok"
+            if ratio > MEM_FAIL_RATIO:
+                if comparable:
+                    status = "REGRESSED"
+                    regressed.append(cell)
+                else:
+                    status = "warn (mem)"
+            elif ratio > 1.0 + tolerance:
+                status = "warn (mem)"
+            else:
+                status = "ok"
             rows.append((cell, metric, before, after, ratio, status))
     # Engine-overhead metrics are warn-only too: parent-side merge
     # bookkeeping is millisecond-scale and noisy on shared runners, so

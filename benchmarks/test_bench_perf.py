@@ -30,6 +30,7 @@ from perf import (
     bench_parallel_overhead,
     bench_rntree_maintenance,
     bench_scenario_flash_crowd,
+    bench_select_vectorized,
     load_baseline,
     perf_document,
     save_perf,
@@ -57,6 +58,7 @@ def test_perf_trajectory(benchmark):
         entries["dht.churn"] = bench_dht_churn()
         entries["scenario.flash_crowd"] = bench_scenario_flash_crowd()
         entries["grid.correlated_failure"] = bench_grid_correlated_failure()
+        entries["select.vectorized"] = bench_select_vectorized()
         entries["parallel.overhead"] = bench_parallel_overhead()
         return entries
 

@@ -49,6 +49,18 @@ def _parse_seeds(text: str) -> tuple[int, ...]:
     return seeds
 
 
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(s) for s in text.split(",") if s.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size list {text!r}") from None
+    if not sizes:
+        raise argparse.ArgumentTypeError("size list is empty")
+    if any(n < 1 for n in sizes):
+        raise argparse.ArgumentTypeError("sizes must be positive")
+    return sizes
+
+
 #: Experiment registry: name -> (description, runner(scale, seeds) -> result).
 #: Runners for parallelizable sweeps also accept an optional ``jobs=``
 #: keyword (worker processes); the CLI forwards ``--jobs`` only when given,
@@ -71,10 +83,13 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
                         seed=seeds[0], include_large=scale >= 1.0,
                         jobs=jobs)),
     "large-scale": ("scale-out kernel validation at 10k-100k nodes",
-                    lambda scale, seeds, jobs=None: run_large_scale(
-                        workload_sizes=(max(50, int(2000 * scale)),
-                                        max(100, int(10_000 * scale))),
-                        churn_n=max(500, int(100_000 * scale)),
+                    lambda scale, seeds, jobs=None, sizes=None, churn_n=None:
+                    run_large_scale(
+                        workload_sizes=sizes if sizes is not None
+                        else (max(50, int(2000 * scale)),
+                              max(100, int(10_000 * scale))),
+                        churn_n=churn_n if churn_n is not None
+                        else max(500, int(100_000 * scale)),
                         seed=seeds[0], jobs=jobs)),
     "protocol": ("message-level Chord maintenance vs reliability",
                  lambda scale, seeds, jobs=None: run_protocol_experiment(
@@ -171,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the sweep fan-out "
                           "(0 = all cores; default: serial, or the "
                           "REPRO_JOBS environment variable if set)")
+    run.add_argument("--sizes", type=_parse_sizes, default=None,
+                     metavar="N1,N2,...",
+                     help="large-scale only: comma-separated workload-cell "
+                          "node counts, overriding the --scale-derived "
+                          "defaults (e.g. --sizes 2048,10000)")
+    run.add_argument("--churn-n", type=int, default=None, metavar="N",
+                     help="large-scale only: Chord ring size for the churn "
+                          "cell, overriding the --scale-derived default")
     run.add_argument("--telemetry", type=Path, default=None, metavar="PATH",
                      help="attach the telemetry stack and export the "
                           "span/metric stream as JSONL to PATH (supported "
@@ -264,11 +287,24 @@ def _warn_extra_seeds(name: str, seeds: tuple[int, ...]) -> None:
 def _run_one(name: str, scale: float, seeds: tuple[int, ...],
              out: Path | None, check: bool,
              telemetry_out: Path | None = None,
-             jobs: int | None = None) -> bool:
+             jobs: int | None = None,
+             sizes: tuple[int, ...] | None = None,
+             churn_n: int | None = None) -> bool:
     _warn_extra_seeds(name, seeds)
     # Forward --jobs only when given so registry entries (and the test
     # suite's monkeypatched fakes) may remain plain two-argument runners.
     kw: dict = {} if jobs is None else {"jobs": jobs}
+    # --sizes/--churn-n are large-scale cell overrides; other runners do
+    # not accept them, so warn and drop rather than crash mid-'run all'.
+    if sizes is not None or churn_n is not None:
+        if name == "large-scale":
+            if sizes is not None:
+                kw["sizes"] = sizes
+            if churn_n is not None:
+                kw["churn_n"] = churn_n
+        else:
+            print(f"warning: --sizes/--churn-n apply only to 'large-scale'; "
+                  f"ignored for '{name}'", file=sys.stderr)
     tel = None
     if telemetry_out is not None:
         if name in TELEMETRY_RUNNERS:
@@ -419,7 +455,9 @@ def _main(argv: list[str] | None = None) -> int:
             print(f"\n=== {name} ===\n")
         all_ok &= _run_one(name, args.scale, args.seeds, args.out, args.check,
                            telemetry_out=args.telemetry,
-                           jobs=getattr(args, "jobs", None))
+                           jobs=getattr(args, "jobs", None),
+                           sizes=getattr(args, "sizes", None),
+                           churn_n=getattr(args, "churn_n", None))
     if engine_stats:
         print()
         print(parallel.render_engine_stats())

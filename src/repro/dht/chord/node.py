@@ -4,12 +4,66 @@ Routing state refers to other :class:`ChordNode` objects directly (the
 simulator's stand-in for cached network addresses); a reference to a dead
 node is exactly a stale address — usable for comparison, but any attempt to
 *route through* it is skipped, modelling a timeout.
+
+Finger storage is columnar: once a node is admitted to a
+:class:`~repro.dht.chord.overlay.ChordOverlay`, its finger table is one
+int32 row of the overlay's dense ``(nodes, bits)`` matrix (entries are
+dense node slots, ``-1`` empty) instead of a per-node list of object
+references — ~256 B of array row instead of a ~570 B pointer list per
+node at ``bits=64`` — and :meth:`closest_preceding_live` evaluates the
+whole table as a few array masks over the overlay's id/alive columns
+instead of a Python scan.  ``node.fingers`` stays a list-like view
+(:class:`FingerRow`) so maintenance code and tests read and write
+entries exactly as before; a node constructed standalone (before any
+overlay admits it) falls back to a plain local list.
 """
 
 from __future__ import annotations
 
 from repro.dht.base import DHTNode
 from repro.util.ids import GUID_BITS, ring_add, ring_between
+
+#: The ``alive`` slot descriptor from the base class; :class:`ChordNode`
+#: shadows it with a property so every write also lands in the owning
+#: overlay's dense ``_alive_col`` (the column the vectorized
+#: closest-preceding scan reads) — no caller can desync the two.
+_ALIVE = DHTNode.alive
+
+
+class FingerRow:
+    """List-like view of one node's row of the overlay finger matrix.
+
+    Resolves dense slots back to :class:`ChordNode` objects on access, so
+    ``node.fingers[i]``, iteration, and ``reversed()`` behave exactly like
+    the former per-node list.  The view holds ``(overlay, dense)`` rather
+    than a row reference so it stays valid across matrix growth.
+    """
+
+    __slots__ = ("_ov", "_d")
+
+    def __init__(self, ov, dense: int):
+        self._ov = ov
+        self._d = dense
+
+    def __len__(self) -> int:
+        return self._ov.bits
+
+    def __getitem__(self, i: int) -> "ChordNode | None":
+        idx = int(self._ov._finger_row(self._d)[i])
+        return None if idx < 0 else self._ov._by_dense[idx]
+
+    def __setitem__(self, i: int, node: "ChordNode | None") -> None:
+        self._ov._finger_row(self._d)[i] = -1 if node is None else node._dense
+
+    def __iter__(self):
+        by_dense = self._ov._by_dense
+        for idx in self._ov._finger_row(self._d).tolist():
+            yield None if idx < 0 else by_dense[idx]
+
+    def __reversed__(self):
+        by_dense = self._ov._by_dense
+        for idx in self._ov._finger_row(self._d)[::-1].tolist():
+            yield None if idx < 0 else by_dense[idx]
 
 
 class ChordNode(DHTNode):
@@ -25,17 +79,57 @@ class ChordNode(DHTNode):
         Known predecessor (may be stale/dead until stabilization runs).
     fingers:
         ``fingers[i]`` targets ``successor(id + 2**i)``; stale entries are
-        tolerated by the lookup procedure.
+        tolerated by the lookup procedure.  Backed by the overlay finger
+        matrix once admitted (see module docstring).
+    fix_next:
+        Next finger level :meth:`ChordOverlay.fix_fingers_node` will
+        refresh (per-node protocol state, formerly an overlay-side dict).
     """
 
-    __slots__ = ("bits", "successors", "predecessor", "fingers")
+    __slots__ = ("bits", "successors", "predecessor", "fix_next",
+                 "_ov", "_dense", "_local_fingers")
 
     def __init__(self, node_id: int, bits: int = GUID_BITS):
+        # Overlay attachment must exist before super().__init__ assigns
+        # ``alive`` (the property below reads it).
+        self._ov = None
+        self._dense = -1
         super().__init__(node_id)
         self.bits = bits
         self.successors: list[ChordNode] = []
         self.predecessor: ChordNode | None = None
-        self.fingers: list[ChordNode | None] = [None] * bits
+        self.fix_next = 0
+        self._local_fingers: list[ChordNode | None] | None = [None] * bits
+
+    # -- columnar mirrors --------------------------------------------------
+
+    @property
+    def alive(self) -> bool:  # shadows the DHTNode slot
+        return _ALIVE.__get__(self, ChordNode)
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        _ALIVE.__set__(self, value)
+        ov = self._ov
+        if ov is not None:
+            ov._alive_col[self._dense] = value
+
+    @property
+    def fingers(self):
+        ov = self._ov
+        if ov is None:
+            return self._local_fingers
+        return FingerRow(ov, self._dense)
+
+    @fingers.setter
+    def fingers(self, values) -> None:
+        ov = self._ov
+        if ov is None:
+            self._local_fingers = list(values)
+            return
+        row = ov._finger_row(self._dense)
+        for i, f in enumerate(values):
+            row[i] = -1 if f is None else f._dense
 
     # -- routing-state queries -------------------------------------------
 
@@ -56,15 +150,24 @@ class ChordNode(DHTNode):
         Scans fingers from farthest to nearest, then the successor list, and
         falls back to ``self`` when nothing qualifies (the caller then steps
         to the successor).  Skipping dead entries models lookup retry after
-        a timeout on a stale address.
+        a timeout on a stale address.  Overlay-attached nodes evaluate the
+        finger scan as one array mask over the finger matrix (same result:
+        the highest qualifying level *is* the first hit of the reverse
+        scan); standalone nodes keep the scalar loop.
         """
-        best = self
-        for finger in reversed(self.fingers):
-            if finger is not None and finger.alive and \
-                    ring_between(finger.node_id, self.node_id, key):
-                return finger
+        ov = self._ov
+        if ov is not None:
+            hit = ov._closest_finger(self._dense, self.node_id, key)
+            if hit is not None:
+                return hit
+        else:
+            for finger in reversed(self._local_fingers):
+                if finger is not None and finger.alive and \
+                        ring_between(finger.node_id, self.node_id, key):
+                    return finger
         # Fingers may all be stale after churn; the successor list still
         # guarantees progress.
+        best = self
         for succ in self.successors:
             if succ.alive and ring_between(succ.node_id, self.node_id, key):
                 best = succ  # nearest-first list: later entries are farther

@@ -21,6 +21,7 @@ never raised — so large cells on slow hosts degrade loudly, not fatally.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field, replace
 from time import perf_counter
 
@@ -191,8 +192,13 @@ def run_large_scale(workload_sizes: tuple[int, ...] = (2000, 10_000),
     """The full large-scale suite: workload cells at each size plus the
     100k-node churn step.  Cells run serially on purpose — each one's
     wall-clock is a measurement, and concurrent cells would distort it
-    (``jobs`` is accepted for CLI-registry compatibility and ignored).
+    (``jobs`` is accepted for CLI-registry compatibility and ignored,
+    with a warning so ``--jobs N`` is never a silent no-op).
     """
+    if jobs is not None:
+        print("warning: 'large-scale' runs its cells serially by design "
+              f"(each wall-clock is a measurement); ignoring jobs={jobs}",
+              file=sys.stderr)
     result = LargeScaleResult()
     for n in workload_sizes:
         result.cells.append(run_workload_cell(n, seed=seed,

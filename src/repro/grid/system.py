@@ -12,6 +12,7 @@ from typing import Sequence
 
 from repro.grid.client import Client
 from repro.grid.job import Job, JobState
+from repro.grid.jobtable import JobTable
 from repro.grid.node import GridNode
 from repro.grid.registry import NodeRegistry
 from repro.grid.resources import ResourceSpec, Vector
@@ -121,6 +122,14 @@ class GridConfig:
 
     sandbox: SandboxPolicy = field(default_factory=SandboxPolicy)
 
+    # Columnar fast paths: maintain the numpy-backed JobTable (job-state
+    # columns updated at the protocol's existing choke points) and use
+    # the vectorized phase-2 ranking over NodeRegistry columns.  Both are
+    # bit-identical to the scalar paths — same RNG draws, same event
+    # order — so this defaults ON; the toggle exists for A/B equivalence
+    # tests and for bisecting columnar regressions.
+    vectorized: bool = True
+
     # Mitigation knobs (scenario ablations — see repro.scenarios and
     # EXPERIMENTS.md § Scenarios).  All three default OFF and, when off,
     # draw no randomness and send no messages, so default-config runs
@@ -213,6 +222,10 @@ class DesktopGrid:
             LatencyModel(mean=cfg.mean_latency, jitter=cfg.latency_jitter,
                          chunk=cfg.rng_chunk),
             telemetry=self.telemetry,
+            # Grid endpoints (GridNode, Client, RPC layer) never retain a
+            # Message past its handler, so delivered envelopes are safe to
+            # scrub and reuse (see Network._recycle).
+            pool_messages=True,
         )
         self.metrics = MetricsCollector()
         self.jobs: dict[int, Job] = {}
@@ -249,6 +262,15 @@ class DesktopGrid:
         for i, node in enumerate(self.node_list):
             node._reg_idx = i
 
+        #: Columnar job-state mirror (see repro.grid.jobtable): one row
+        #: per injected job, fed by the Job property setters and the
+        #: owner-gated record hooks in GridNode.  None when the
+        #: ``vectorized`` knob is off (pure-scalar A/B mode).
+        self.job_table = JobTable(
+            self.registry.index,
+            cfg.heartbeat_interval * cfg.heartbeat_miss_limit,
+        ) if cfg.vectorized else None
+
         self.matchmaker = matchmaker
         matchmaker.bind(self)
         self.telemetry.bind(self)
@@ -273,6 +295,8 @@ class DesktopGrid:
         """§2 step 1: the client inserts the job at an *injection node*
         (any node of the system), which routes it to its owner."""
         self.jobs[job.guid] = job
+        if self.job_table is not None:
+            self.job_table.register(job)
         injection = self._random_live_node()
         tel = self.telemetry
         if tel.enabled:
@@ -437,14 +461,23 @@ class DesktopGrid:
         Periodic protocol tasks keep the event queue non-empty forever, so
         progress is checked every ``chunk`` of virtual time.
         """
+        # The JobTable's settled counter answers "is every job terminal?"
+        # in O(1); fall back to the per-job scan when the table is off or
+        # does not cover the jobs dict (a guid-colliding re-registration
+        # could desynchronize them — never in practice, cheap to guard).
+        jt = self.job_table
+        use_table = jt is not None
         while self.sim.now < max_time:
-            if self.jobs and all(j.is_done or j.state is JobState.LOST
-                                 for j in self.jobs.values()):
+            if use_table and jt.n == len(self.jobs):
+                settled = jt.all_settled
+            else:
+                settled = all(j.is_done or j.state is JobState.LOST
+                              for j in self.jobs.values())
+            if settled and self.jobs:
                 return True
             if self.sim.peek_time() is None:
                 # Queue drained: nothing can change any more.
-                return all(j.is_done or j.state is JobState.LOST
-                           for j in self.jobs.values())
+                return settled
             self.sim.run(until=min(self.sim.now + chunk, max_time))
         return False
 

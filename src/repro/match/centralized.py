@@ -94,9 +94,16 @@ class CentralizedMatchmaker(Matchmaker):
             # makes the decentralized schemes' probe counts comparable.
             tel.metrics.histogram("match.centralized.candidates").observe(
                 int(mask.sum()))
+        idx = np.flatnonzero(mask)
+        if grid.cfg.vectorized and grid.cfg.probe_mode == "oracle":
+            # Columnar fast path: hand phase 2 the dense registry indices
+            # of the alive∧capable mask and skip materializing the GUID
+            # list — oracle selection reads the load column in bulk and
+            # resolves only the ids it dispatches to.  (The rpc probe
+            # path needs per-candidate GUIDs, so it keeps the list.)
+            return CandidateSet(reg_idx=idx, charge_probes=False)
         node_list = grid.node_list
         return CandidateSet(
-            candidates=[node_list[int(i)].node_id
-                        for i in np.flatnonzero(mask)],
+            candidates=[node_list[int(i)].node_id for i in idx],
             charge_probes=False)
 

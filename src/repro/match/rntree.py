@@ -27,6 +27,8 @@ import bisect
 import heapq
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.dht.chord import ChordOverlay
 from repro.grid.resources import satisfies
 from repro.match.base import Matchmaker
@@ -290,6 +292,18 @@ class RendezvousTreeMatchmaker(ChordResultStorage, Matchmaker):
 
         candidates, search_hops = self._extended_search(cur_id, req, self.k)
         hops += search_hops
+        grid = self._require_grid()
+        if grid.cfg.vectorized and candidates:
+            # Attach the candidates' dense registry indices (search order;
+            # the tree search visits each node at most once, so they are
+            # unique) — oracle selection then ranks over the registry's
+            # load column in bulk instead of building a per-candidate
+            # loads dict.
+            index = grid.registry.index
+            reg_idx = np.fromiter((index[c] for c in candidates),
+                                  dtype=np.int64, count=len(candidates))
+            return CandidateSet(candidates=candidates, hops=hops,
+                                reg_idx=reg_idx)
         return CandidateSet(candidates=candidates, hops=hops)
 
     def _random_neighbor(self, node_id: int) -> int | None:

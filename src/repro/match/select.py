@@ -36,9 +36,9 @@ import abc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
-if TYPE_CHECKING:  # pragma: no cover
-    import numpy as np
+import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.system import DesktopGrid
 
 
@@ -58,6 +58,15 @@ class CandidateSet:
     ``"random"`` (draw from the match RNG stream even for a single
     winner, as the tree/CAN matchmakers always did) or ``"first"``
     (deterministic first-in-search-order, the TTL walk's rule).
+
+    ``reg_idx`` optionally carries the candidates' dense
+    :class:`NodeRegistry` indices (same search order) so oracle-mode
+    selection can read load columns in bulk instead of probing a dict
+    per candidate; a matchmaker attaching it asserts the candidates are
+    *unique* (duplicates would change least-loaded tie semantics).  A
+    matchmaker may supply ``reg_idx`` with an *empty* ``candidates``
+    list only under ``probe_mode="oracle"`` (the rpc probe path needs
+    the GUID list).
     """
 
     candidates: list[int] = field(default_factory=list)
@@ -65,9 +74,11 @@ class CandidateSet:
     pushes: int = 0
     charge_probes: bool = True
     tie_break: str = "random"
+    reg_idx: "np.ndarray | None" = None
 
     def __bool__(self) -> bool:
-        return bool(self.candidates)
+        return bool(self.candidates) \
+            or (self.reg_idx is not None and self.reg_idx.size > 0)
 
 
 class SelectionPolicy(abc.ABC):
@@ -247,12 +258,74 @@ def oracle_select(grid: "DesktopGrid", cset: CandidateSet,
     node ids (empty when there are no candidates) and ``probes`` is the
     probe count to charge the job (0 when the search pre-paid for load
     knowledge, see :attr:`CandidateSet.charge_probes`).
+
+    When the search attached :attr:`CandidateSet.reg_idx` and the policy
+    is plain least-loaded, selection runs vectorized over the registry's
+    ``queue_len`` column — bit-identical to the scalar rank (same single
+    tie-break draw, same preference order), without the per-candidate
+    loads dict and Python sort.
     """
-    if not cset.candidates:
+    if not cset:
         return [], 0
+    if cset.reg_idx is not None and type(policy) is LeastLoadedPolicy:
+        return _least_loaded_select_vec(grid, cset, rng)
     targets = policy.probe_targets(cset.candidates, rng)
     loads = oracle_probe(grid, targets)
     ranking = policy.rank(cset.candidates, loads, (), rng,
                           tie_break=cset.tie_break)
     probes = len(targets) if cset.charge_probes else 0
+    return ranking, probes
+
+
+def _least_loaded_select_vec(grid: "DesktopGrid", cset: CandidateSet,
+                             rng: "np.random.Generator"
+                             ) -> tuple[list[int], int]:
+    """Vectorized least-loaded ranking over registry columns.
+
+    Equivalence with :meth:`LeastLoadedPolicy.rank` under oracle probing
+    (every candidate probed, none failed, candidates unique):
+
+    * the winner pool is every minimum-load candidate in search order,
+      and ``tie_break="random"`` draws once over its size — the same
+      ``rng.integers(0, len(winners))`` call;
+    * the fallback order is the stable sort by load (ties keep search
+      order), exactly the scalar ``sorted(key=(load, order))``;
+    * probes charged = number of candidates (all are probed), or 0 when
+      the search pre-paid (``charge_probes=False``).
+
+    Without acked dispatch only ``ranking[0]`` (the dispatch target) and
+    ``ranking[1]`` (the replicate runner-up / ``len > 1`` check) are
+    ever read, so the full fallback chain is skipped and the runner-up
+    found with one more O(n) argmin pass instead of a sort — behavior
+    is identical because no consumer exists for the tail.
+    """
+    idx = cset.reg_idx
+    loads = grid.registry.queue_len[idx]
+    n = int(idx.size)
+    if cset.tie_break == "random":
+        winners = np.flatnonzero(loads == loads.min())
+        w = int(winners[int(rng.integers(0, winners.size))])
+    else:
+        w = int(loads.argmin())  # first occurrence == first-in-order winner
+    candidates = cset.candidates
+    if candidates:
+        def id_at(p: int) -> int:
+            return candidates[p]
+    else:
+        node_list = grid.node_list
+
+        def id_at(p: int) -> int:
+            return node_list[int(idx[p])].node_id
+
+    probes = n if cset.charge_probes else 0
+    if n == 1:
+        return [id_at(w)], probes
+    if not grid.cfg.dispatch_ack:
+        masked = loads.copy()
+        masked[w] = np.iinfo(masked.dtype).max
+        runner_up = int(masked.argmin())
+        return [id_at(w), id_at(runner_up)], probes
+    order = np.argsort(loads, kind="stable")
+    ranking = [id_at(w)]
+    ranking.extend(id_at(int(p)) for p in order if int(p) != w)
     return ranking, probes

@@ -332,6 +332,43 @@ class Simulator:
         wheel.insert(timer)
         return timer
 
+    def reschedule_timer(self, timer: WheelTimer, delay: float,
+                         fn: Callable) -> EventHandle:
+        """Revive a just-fired :class:`WheelTimer` in place.
+
+        Firing semantics are *identical* to :meth:`schedule_timer` — the
+        revived timer takes the next global sequence number and waits on
+        the wheel — but no new handle is allocated: the caller's fired
+        timer object (whose slots the run loop already cleared) is
+        re-armed and re-bucketed.  This is the periodic-task fast path:
+        one million heartbeat reschedules otherwise allocate one million
+        single-use ``WheelTimer`` objects, which dominates the traced
+        allocation profile at 10k-node scale.
+
+        Falls back to plain scheduling when the wheel is disabled or the
+        delay is zero (both must route through the heap), returning a
+        fresh handle in that case — callers must always re-point at the
+        returned handle.
+        """
+        if delay <= 0 or not self._use_wheel:
+            return self.schedule_timer(delay, fn)
+        time = self.now + delay
+        if time - time != 0.0:
+            raise ValueError(f"invalid event time {time!r}")
+        timer.time = time
+        timer.seq = self._seq
+        timer.fn = fn
+        timer.args = ()
+        timer.cancelled = False
+        timer.on_wheel = True
+        timer.sim = self
+        self._seq += 1
+        self.events_scheduled += 1
+        wheel = self._wheel
+        wheel.timers_scheduled += 1
+        wheel.insert(timer)
+        return timer
+
     def post(self, delay: float, fn: Callable, *args: Any) -> None:
         """Fire-and-forget schedule: no handle, cannot be cancelled.
 

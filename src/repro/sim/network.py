@@ -165,12 +165,24 @@ class Network:
     """
 
     def __init__(self, sim: Simulator, rng: np.random.Generator,
-                 latency: LatencyModel | None = None, telemetry=None):
+                 latency: LatencyModel | None = None, telemetry=None,
+                 pool_messages: bool = False):
         self.sim = sim
         self.rng = rng
         self.latency = latency or LatencyModel()
         self._endpoints: dict[int, Endpoint] = {}
         self.stats = NetworkStats()
+        #: Message freelist (None = pooling off).  When enabled, a
+        #: delivered (or dropped) envelope is scrubbed and reused by a
+        #: later send instead of allocating a fresh ``Message`` — at 10k
+        #: nodes the heartbeat/ack fast path otherwise allocates one
+        #: slotted object per protocol message.  Opt-in because it
+        #: requires every endpoint (and ``on_delivered`` callback) not to
+        #: retain the message past its handler; the grid's endpoints
+        #: honor that, arbitrary test doubles may not.  Messages sent
+        #: with ``on_delivered`` are never pooled (the callback may
+        #: legitimately keep them).
+        self._pool: list[Message] | None = [] if pool_messages else None
         #: Optional :class:`repro.telemetry.core.Telemetry` sink (None = off);
         #: per-kind message counters plus (filtered-in) per-message events.
         self.telemetry = telemetry if telemetry is not None \
@@ -236,7 +248,17 @@ class Network:
             self.stats.dropped_dead_src += 1
             return None
         sim = self.sim
-        msg = Message(kind, src, dst, payload, sim.now, trace)
+        pool = self._pool
+        if pool:
+            msg = pool.pop()
+            msg.kind = kind
+            msg.src = src
+            msg.dst = dst
+            msg.payload = payload
+            msg.send_time = sim.now
+            msg.trace = trace
+        else:
+            msg = Message(kind, src, dst, payload, sim.now, trace)
         stats = self.stats
         stats.sent += 1
         stats.by_kind[kind] += 1
@@ -268,6 +290,7 @@ class Network:
             self.stats.dropped_dead_dst += 1
             if self._ctr_dropped is not None:
                 self._ctr_dropped.inc()
+            self._recycle(msg, on_delivered)
             return
         self.stats.delivered += 1
         if self._ctr_delivered is not None:
@@ -275,3 +298,27 @@ class Network:
         dst_ep.handle_message(msg)
         if on_delivered is not None:
             on_delivered(msg)
+        elif self._pool is not None:
+            self._recycle(msg, None)
+
+    #: Freelist cap — enough to absorb the largest in-flight burst worth
+    #: reusing without pinning an unbounded high-water mark forever.
+    _POOL_MAX = 4096
+
+    def _recycle(self, msg: Message,
+                 on_delivered: Callable[[Message], None] | None) -> None:
+        """Scrub a finished envelope and return it to the freelist.
+
+        Skipped when pooling is off or the sender attached an
+        ``on_delivered`` callback (the callback may retain the message, so
+        mutating it on reuse would corrupt the caller's view).  Payload and
+        trace are dropped here so a pooled envelope never pins job objects
+        or span trees alive between uses.
+        """
+        pool = self._pool
+        if pool is None or on_delivered is not None \
+                or len(pool) >= self._POOL_MAX:
+            return
+        msg.payload = None
+        msg.trace = None
+        pool.append(msg)

@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.kernel import EventHandle, Simulator, WheelTimer
 from repro.util.rng import ChunkedUniform
 
 
@@ -92,6 +92,7 @@ class PeriodicTask:
     def _fire(self) -> None:
         if self.stopped:
             return
+        handle = self._handle
         self._handle = None
         self.firings += 1
         self.fn()
@@ -103,4 +104,11 @@ class PeriodicTask:
                 delay = float(self.rng.uniform(self._lo, self._hi))
             else:
                 delay = self.interval
-            self._handle = self.sim.schedule_timer(delay, self._fire_ref)
+            if type(handle) is WheelTimer:
+                # Re-arm the fired wheel timer in place instead of
+                # allocating a fresh one per firing (same sequence
+                # numbering, same firing order — see reschedule_timer).
+                self._handle = self.sim.reschedule_timer(
+                    handle, delay, self._fire_ref)
+            else:
+                self._handle = self.sim.schedule_timer(delay, self._fire_ref)

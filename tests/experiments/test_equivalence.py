@@ -144,6 +144,38 @@ class TestMitigationKnobsDefaultOff:
             "1efe1eca8cc4cd5d77345698be1cb822a3d08ca307a8084d6fab6f7fc737aa8c")
 
 
+class TestColumnarKnobEquivalence:
+    """The ``vectorized`` knob (columnar JobTable + vectorized phase-2
+    ranking over NodeRegistry columns) defaults ON, so every committed
+    golden already pins the columnar paths.  Turning it OFF must
+    reproduce the exact same digests — the A/B proof that the columnar
+    mirrors and the vectorized least-loaded rank are pure replumbing:
+    same RNG draws, same tie-breaks, same event order, same bits."""
+
+    def test_bare_oracle_scalar_matches_golden(self):
+        out = run_workload(_workload(), "rn-tree", seed=7,
+                           grid_overrides={"vectorized": False})
+        assert fingerprint(out) == (
+            "3741fad47dbd298adca98a3a805dd151f18995c49c34e7371e53f620c17c07bb")
+
+    def test_recovery_protocol_scalar_matches_golden(self):
+        wl = _workload()
+        cfg = GridConfig(seed=7, spec=wl.spec, heartbeats_enabled=True,
+                         probe_mode="rpc", dispatch_ack=True,
+                         client_resubmit_enabled=True, vectorized=False)
+        out = run_workload(wl, "rn-tree", seed=7, grid_cfg=cfg)
+        assert fingerprint(out) == (
+            "c59ae088b9a99f0d6321b4195907be2c16dcb98ef5ff6f7c76f957798c4f30e6")
+
+    def test_fair_share_scalar_matches_golden(self):
+        wl = _workload()
+        cfg = GridConfig(seed=3, spec=wl.spec, queue_discipline="fair-share",
+                         heartbeats_enabled=True, vectorized=False)
+        out = run_workload(wl, "centralized", seed=3, grid_cfg=cfg)
+        assert fingerprint(out) == (
+            "1efe1eca8cc4cd5d77345698be1cb822a3d08ca307a8084d6fab6f7fc737aa8c")
+
+
 class TestTimerWheelEquivalence:
     """The wheel is a data-structure swap, not a semantics change: wheel
     timers carry the same global sequence numbers as heap events, so the

@@ -1,11 +1,12 @@
-"""The perf-gate diff: cpu-sensitive cells soften when hosts differ."""
+"""The perf-gate diff: cpu-sensitive cells soften when hosts differ,
+memory metrics hard-fail past MEM_FAIL_RATIO on comparable baselines."""
 
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from diff_perf import compare  # noqa: E402
+from diff_perf import MEM_FAIL_RATIO, compare  # noqa: E402
 
 
 def _doc(cpu_count: int, parallel: float, serial: float) -> dict:
@@ -45,4 +46,49 @@ class TestCpuSoftening:
         rows, regressed = compare(_doc(8, 100.0, 10.0),
                                   _doc(1, 100.0, 10.0), tolerance=0.5)
         assert _status(rows, "figure2.parallel") == "ok"
+        assert not regressed
+
+
+def _mem_doc(cpu_count: int, peak_mb: float, scale: float = 0.1) -> dict:
+    # grid.large_scale is in SCALE_FREE_CELLS, so the memory gate stays
+    # armed even when the two documents were recorded at different
+    # --scale (the cell's internal sizes are fixed).
+    return {
+        "schema": 1, "scale": scale, "cpu_count": cpu_count,
+        "entries": {
+            "grid.large_scale": {"events_per_s": 100.0,
+                                 "mem_peak_mb": peak_mb},
+        },
+    }
+
+
+def _mem_status(rows: list[tuple]) -> str:
+    return next(r[5] for r in rows
+                if r[0] == "grid.large_scale" and r[1] == "mem_peak_mb")
+
+
+class TestMemoryGate:
+    def test_growth_past_fail_ratio_gates_on_same_host(self):
+        rows, regressed = compare(_mem_doc(8, 100.0), _mem_doc(8, 130.0),
+                                  tolerance=0.5)
+        assert _mem_status(rows) == "REGRESSED"
+        assert "grid.large_scale" in regressed
+
+    def test_growth_past_fail_ratio_warns_across_hosts(self):
+        rows, regressed = compare(_mem_doc(8, 100.0), _mem_doc(1, 130.0),
+                                  tolerance=0.5)
+        assert _mem_status(rows) == "warn (mem)"
+        assert "grid.large_scale" not in regressed
+
+    def test_growth_within_fail_ratio_does_not_gate(self):
+        rows, regressed = compare(_mem_doc(8, 100.0),
+                                  _mem_doc(8, 100.0 * MEM_FAIL_RATIO),
+                                  tolerance=0.05)
+        assert _mem_status(rows) == "warn (mem)"  # > tol, <= fail ratio
+        assert "grid.large_scale" not in regressed
+
+    def test_flat_memory_is_ok(self):
+        rows, regressed = compare(_mem_doc(8, 100.0), _mem_doc(8, 101.0),
+                                  tolerance=0.5)
+        assert _mem_status(rows) == "ok"
         assert not regressed
